@@ -1,0 +1,92 @@
+"""Appendix — O(n) evaluation: runtime scaling of the closed-form analysis.
+
+The Appendix argues the whole model evaluates at all nodes with a number
+of multiplications linear in the number of sections (two passes, ~2n
+multiplies). This bench measures wall-clock runtime of the full
+per-node analysis across tree sizes spanning two orders of magnitude and
+fits the log-log slope — it must sit near 1 (linear), far from the
+slope-3 dense eigensolve it replaces.
+
+Timed kernel: the 4096-section tree analysis.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import TreeAnalyzer, multiplication_count
+from repro.circuit import balanced_tree
+
+SIZES = (6, 30, 126, 510, 2046, 8190)  # balanced binary depths 2..12 step 2
+
+
+def build(sections_target):
+    depth = int(np.log2(sections_target + 2)) - 1
+    return balanced_tree(depth, 2, resistance=15.0, inductance=2e-9,
+                         capacitance=0.2e-12)
+
+
+def full_analysis(tree):
+    analyzer = TreeAnalyzer(tree)
+    return [analyzer.timing(node) for node in tree.nodes]
+
+
+def test_appendix_linear_scaling(report, benchmark):
+    rows = []
+    times = []
+    for target in SIZES:
+        tree = build(target)
+        # Median of 3 runs to tame allocator noise.
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            result = full_analysis(tree)
+            samples.append(time.perf_counter() - start)
+        assert len(result) == tree.size
+        elapsed = sorted(samples)[1]
+        times.append((tree.size, elapsed))
+        rows.append(
+            (
+                tree.size,
+                multiplication_count(tree),
+                elapsed * 1e3,
+                elapsed / tree.size * 1e6,
+            )
+        )
+    report.table(
+        ["sections", "multiplies (2n)", "runtime (ms)", "us/section"], rows
+    )
+
+    sizes = np.log([n for n, _ in times])
+    secs = np.log([s for _, s in times])
+    slope = float(np.polyfit(sizes, secs, 1)[0])
+    report.line()
+    report.line(
+        f"log-log runtime slope: {slope:.2f} "
+        "(1.0 = linear, the Appendix claim; 3.0 = the dense eigensolve "
+        "the closed form replaces)"
+    )
+
+    tree = build(4094)
+    benchmark(lambda: full_analysis(tree))
+    assert slope < 1.5
+
+
+def test_appendix_per_section_cost_flat(report, benchmark):
+    """us/section must not grow with n — the direct linearity check."""
+    small = build(126)
+    large = build(8190)
+
+    def cost(tree):
+        start = time.perf_counter()
+        full_analysis(tree)
+        return (time.perf_counter() - start) / tree.size
+
+    small_cost = min(cost(small) for _ in range(3))
+    large_cost = min(cost(large) for _ in range(3))
+    report.line(
+        f"per-section cost: {small_cost * 1e6:.2f} us (n={small.size}) vs "
+        f"{large_cost * 1e6:.2f} us (n={large.size})"
+    )
+    benchmark(lambda: full_analysis(small))
+    assert large_cost < 3.0 * small_cost

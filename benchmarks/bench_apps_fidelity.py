@@ -1,0 +1,140 @@
+"""Conclusion claims — the closed forms inside design methodologies.
+
+The paper's closing argument: continuous closed-form expressions make
+the model usable for synthesis (buffer insertion, wire sizing) and
+analysis (clock skew) methodologies. This bench exercises all three apps
+and reports the fidelity numbers that justify the claim:
+
+* clock skew: rank correlation of sink ordering (model vs exact) for the
+  RLC model and for RC Elmore on an inductive H-tree,
+* wire sizing: optimal widths under RC vs RLC delay and the true (exact
+  simulated) delay of each choice,
+* buffer insertion: solutions under both wire-delay models.
+
+Timed kernels: a full skew analysis and a full buffer-insertion DP.
+"""
+
+import numpy as np
+
+from repro.apps import (
+    Buffer,
+    WireSizingProblem,
+    h_tree,
+    insert_buffers,
+    optimize_width,
+    perturbed_clock_tree,
+    skew_report,
+)
+from repro.circuit import single_line
+from repro.simulation import ExactSimulator, delay_50 as measured_delay
+
+
+def test_clock_skew_fidelity(report, benchmark):
+    rlc_corr, rc_corr, rlc_gap, rc_gap = [], [], [], []
+    for seed in range(6):
+        tree = perturbed_clock_tree(h_tree(levels=3), 0.12, seed=seed)
+        rep = skew_report(tree)
+        rlc_corr.append(rep.rlc_rank_correlation)
+        rc_corr.append(rep.rc_rank_correlation)
+        rlc_gap.append(abs(rep.rlc_skew - rep.exact_skew))
+        rc_gap.append(abs(rep.rc_skew - rep.exact_skew))
+    report.table(
+        ["metric", "RLC model", "RC Elmore"],
+        [
+            ("mean sink rank correlation", float(np.mean(rlc_corr)),
+             float(np.mean(rc_corr))),
+            ("mean |skew - exact| (s)", float(np.mean(rlc_gap)),
+             float(np.mean(rc_gap))),
+        ],
+    )
+    report.line()
+    report.line(
+        "the RLC equivalent delay preserves the sink ordering of the "
+        "exact simulation on inductive clock trees; RC Elmore does not — "
+        "the fidelity property design methodologies rely on [25][26]."
+    )
+
+    tree = perturbed_clock_tree(h_tree(levels=3), 0.12, seed=0)
+    rep = benchmark(lambda: skew_report(tree))
+    assert np.mean(rlc_corr) > 0.8
+    assert np.mean(rlc_corr) > np.mean(rc_corr) + 0.2
+    assert np.mean(rlc_gap) < np.mean(rc_gap)
+
+
+def test_wire_sizing_choice_quality(report, benchmark):
+    problem = WireSizingProblem()
+    chosen = {}
+    for model in ("rc", "rlc"):
+        result = optimize_width(problem, model)
+        # True quality of the chosen width: exact simulated delay of the
+        # RLC tree at that width.
+        tree = problem.tree(result.width, "rlc")
+        sim = ExactSimulator(tree)
+        t = sim.time_grid(points=8001, span_factor=14.0)
+        true_delay = measured_delay(t, sim.step_response(problem.sink(), t))
+        chosen[model] = (result.width, result.delay, true_delay,
+                         result.evaluations)
+    report.table(
+        ["model", "width (um)", "model delay (ps)", "true delay (ps)",
+         "evals"],
+        [
+            (m, w * 1e6, d * 1e12, td * 1e12, ev)
+            for m, (w, d, td, ev) in chosen.items()
+        ],
+    )
+    report.line()
+    report.line(
+        "both optimizations converge in tens of closed-form evaluations — "
+        "the use case the paper's continuous expressions enable. The "
+        "RLC-aware choice must be at least as good under the true delay."
+    )
+
+    benchmark(lambda: optimize_width(problem, "rlc"))
+    rc_true = chosen["rc"][2]
+    rlc_true = chosen["rlc"][2]
+    assert rlc_true <= rc_true * 1.02
+
+
+def test_buffer_insertion_models(report, benchmark):
+    from repro.apps import simulated_plan_delay
+
+    line = single_line(12, resistance=50.0, inductance=6e-9,
+                       capacitance=0.3e-12)
+    buffer_cell = Buffer(output_resistance=25.0, input_capacitance=15e-15,
+                         intrinsic_delay=15e-12)
+    rows = []
+    self_errors = {}
+    results = {}
+    for model in ("rc", "rlc"):
+        result = insert_buffers(line, buffer_cell, model=model,
+                                driver_resistance=30.0)
+        results[model] = result
+        simulated = simulated_plan_delay(line, result, buffer_cell, 30.0)
+        estimate = -result.required_at_root
+        self_errors[model] = abs(estimate - simulated) / simulated
+        rows.append(
+            (model, result.buffer_count, estimate * 1e12, simulated * 1e12,
+             100 * self_errors[model])
+        )
+    report.table(
+        ["model", "#buffers", "est. delay (ps)", "sim. delay (ps)",
+         "self-est err %"],
+        rows,
+    )
+    report.line()
+    report.line(
+        "on an inductance-dominated net the two wire-delay models steer "
+        "the DP to different plans; the fidelity metric that matters is "
+        "how well each model predicts the *simulated* delay of its own "
+        "plan — the RLC closed form must be far closer. (Which plan wins "
+        "outright also depends on the additive-stage assumption inside "
+        "van Ginneken itself; see examples/buffer_insertion_demo.py.)"
+    )
+
+    benchmark(
+        lambda: insert_buffers(line, buffer_cell, model="rlc",
+                               driver_resistance=30.0)
+    )
+    assert results["rc"].buffer_nodes != results["rlc"].buffer_nodes
+    assert self_errors["rlc"] < 0.15
+    assert self_errors["rlc"] < 0.5 * self_errors["rc"]

@@ -1,0 +1,68 @@
+"""Extension — coupled-line crosstalk: noise and Miller timing windows.
+
+Regenerates the signal-integrity tables of ``examples/crosstalk_study.py``
+with assertions on the physics: capacitive and inductive noise carry
+opposite polarity, pure couplings are monotone in their knob (weak
+regime), and the victim delay obeys same < quiet < opposite. The coupled
+solver itself is pinned to the single-line solver by exact even/odd mode
+decomposition in the test suite; here we record the numbers.
+
+Timed kernel: one full coupled modal solve + noise analysis (24 states).
+"""
+
+from repro.circuit import Section
+from repro.simulation import CoupledLines, crosstalk_noise, switching_delay
+
+BASE = Section(20.0, 2e-9, 0.2e-12)
+
+
+def test_crosstalk_tables(report, benchmark):
+    noise_rows = []
+    for c_c, m in [
+        (20e-15, 0.0),
+        (100e-15, 0.0),
+        (300e-15, 0.0),
+        (0.0, 0.2e-9),
+        (0.0, 0.8e-9),
+        (100e-15, 0.5e-9),
+    ]:
+        lines = CoupledLines(6, BASE, c_c, m)
+        noise = crosstalk_noise(lines)
+        noise_rows.append(
+            (c_c * 1e15, m * 1e9, noise.peak, noise.peak_time * 1e12)
+        )
+    report.table(
+        ["Cc (fF)", "M (nH)", "peak noise (V)", "peak time (ps)"], noise_rows
+    )
+    report.line()
+
+    lines = CoupledLines(6, BASE, 100e-15, 0.5e-9)
+    quiet = switching_delay(lines, "quiet")
+    same = switching_delay(lines, "same")
+    opposite = switching_delay(lines, "opposite")
+    report.table(
+        ["neighbour", "victim delay (ps)", "vs quiet"],
+        [
+            ("quiet", quiet * 1e12, "--"),
+            ("same direction", same * 1e12,
+             f"{(same - quiet) / quiet:+.1%}"),
+            ("opposite", opposite * 1e12,
+             f"{(opposite - quiet) / quiet:+.1%}"),
+        ],
+    )
+    report.line()
+    report.line(
+        "capacitive noise is positive, inductive negative (Lenz); the "
+        "Miller window same < quiet < opposite bounds the timing spread "
+        "coupling imposes."
+    )
+
+    benchmark(lambda: crosstalk_noise(CoupledLines(6, BASE, 100e-15, 0.5e-9)))
+
+    capacitive = [row[2] for row in noise_rows[:3]]
+    inductive = [row[2] for row in noise_rows[3:5]]
+    assert capacitive[0] < capacitive[1] < capacitive[2]  # monotone, positive
+    assert all(peak > 0 for peak in capacitive)
+    assert all(peak < 0 for peak in inductive)
+    assert abs(inductive[0]) < abs(inductive[1])
+    assert same < quiet < opposite

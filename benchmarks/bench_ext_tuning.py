@@ -1,0 +1,62 @@
+"""Extension — gradient-steered skew tuning, scored by exact simulation.
+
+Tunes mismatched clock trees (several variation seeds) with the analytic
+gradient and reports, per seed, the model's claimed skew reduction next
+to the exact simulated one. The assertion is the honest one: the *real*
+skew must drop substantially on every seed, even though the optimizer
+never ran a simulation.
+
+Timed kernel: one full tuning descent (40 gradient iterations, each an
+O(n) pass per sink).
+"""
+
+from repro.apps import (
+    h_tree,
+    perturbed_clock_tree,
+    skew_report,
+    tune_clock_tree,
+)
+
+from conftest import percent
+
+SEEDS = (3, 5, 9)
+
+
+def test_tuning_reduces_real_skew(report, benchmark):
+    rows = []
+    real_reductions = []
+    for seed in SEEDS:
+        tree = perturbed_clock_tree(h_tree(levels=3), 0.15, seed=seed)
+        result = tune_clock_tree(tree)
+        exact_before = skew_report(tree).exact_skew
+        exact_after = skew_report(result.tuned_tree).exact_skew
+        real = 1.0 - exact_after / exact_before
+        real_reductions.append(real)
+        rows.append(
+            (
+                seed,
+                result.skew_before * 1e12,
+                result.skew_after * 1e12,
+                percent(result.improvement),
+                exact_before * 1e12,
+                exact_after * 1e12,
+                percent(real),
+            )
+        )
+    report.table(
+        ["seed", "model before (ps)", "model after (ps)", "model cut %",
+         "exact before (ps)", "exact after (ps)", "exact cut %"],
+        rows,
+    )
+    report.line()
+    report.line(
+        "the optimizer sees only the closed form; the exact columns show "
+        "how much of that optimization reality honors. The residual gap "
+        "is the 2-pole model error, not an optimizer failure."
+    )
+
+    tree = perturbed_clock_tree(h_tree(levels=3), 0.15, seed=3)
+    benchmark(lambda: tune_clock_tree(tree, iterations=10))
+
+    assert all(r > 0.4 for r in real_reductions)
+    assert sum(real_reductions) / len(real_reductions) > 0.55

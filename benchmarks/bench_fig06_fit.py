@@ -1,0 +1,78 @@
+"""Fig. 6 — time-scaled 50% delay and rise time vs zeta, with the eq. 33/34 fits.
+
+The paper computes the numerically exact scaled metrics on a zeta grid
+and overlays the fitted closed forms. This bench regenerates exactly that
+data (the series a plot of Fig. 6 would draw), reports the fit errors,
+and re-runs the fitting procedure from scratch to confirm it lands on
+eq. 33's published coefficients.
+
+Timed kernel: a full from-scratch refit of the delay curve (the paper's
+one-time cost), plus the per-call cost of the fitted formula (the price
+every delay query pays).
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    fit_delay,
+    scaled_delay,
+    scaled_delay_exact,
+    scaled_rise,
+    scaled_rise_exact,
+)
+
+from conftest import percent
+
+ZETA_GRID = [0.1, 0.2, 0.3, 0.5, 0.7, 0.85, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0]
+
+
+def test_fig06_scaled_metric_series(report, benchmark):
+    rows = []
+    worst_delay = worst_rise = 0.0
+    for zeta in ZETA_GRID:
+        exact_d = scaled_delay_exact(zeta)
+        fit_d = scaled_delay(zeta)
+        exact_r = scaled_rise_exact(zeta)
+        fit_r = scaled_rise(zeta)
+        err_d = percent(abs(fit_d - exact_d) / exact_d)
+        err_r = percent(abs(fit_r - exact_r) / exact_r)
+        worst_delay = max(worst_delay, err_d)
+        worst_rise = max(worst_rise, err_r)
+        rows.append((zeta, exact_d, fit_d, err_d, exact_r, fit_r, err_r))
+    report.table(
+        ["zeta", "tpd exact", "tpd eq33", "err %", "tr exact", "tr eq34*",
+         "err %"],
+        rows,
+    )
+    report.line()
+    report.line(f"max delay-fit error over grid: {worst_delay:.2f}%")
+    report.line(f"max rise-fit error over grid:  {worst_rise:.2f}%")
+
+    refit = benchmark(fit_delay)
+    a, b, c = refit.coefficients
+    report.line()
+    report.line(
+        "refit of eq. 33 family from scratch: "
+        f"a={a:.4g} b={b:.4g} c={c:.4g} "
+        f"(published: 1.047, 0.85, 1.39); "
+        f"max rel error {percent(refit.max_relative_error):.2f}%"
+    )
+    assert worst_delay < 4.0
+    assert worst_rise < 4.0
+    assert c == 1.39 or abs(c - 1.39) < 0.05
+
+
+def test_fig06_formula_evaluation_speed(report, benchmark):
+    """The fitted formula must be cheap enough for optimization loops."""
+    zetas = np.linspace(0.05, 5.0, 10000)
+
+    def evaluate():
+        return scaled_delay(zetas), scaled_rise(zetas)
+
+    delay, rise = benchmark(evaluate)
+    report.line(
+        f"evaluated {zetas.size} delay+rise pairs per call; "
+        f"sample: tpd'(1.0)={scaled_delay(1.0):.4f}, "
+        f"tr'(1.0)={scaled_rise(1.0):.4f}"
+    )
+    assert delay.shape == rise.shape == zetas.shape

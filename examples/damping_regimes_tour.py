@@ -1,0 +1,92 @@
+"""A tour of the damping regimes: what the single continuous formula buys.
+
+Sweeps one tree from strongly underdamped (zeta = 0.25, visible ringing)
+through critical damping to overdamped (zeta = 3, RC-like), printing for
+each regime the full closed-form characterization next to exact
+simulation — including the quantities only the underdamped branch has
+(overshoot train, settling time) and an ASCII sketch of the waveforms.
+
+This is the paper's Section IV in motion: one expression, every regime,
+no case dispatch at the boundaries.
+
+Run:  python examples/damping_regimes_tour.py
+"""
+
+import numpy as np
+
+from repro import TreeAnalyzer
+from repro.circuit import fig5_tree, scale_tree_to_zeta
+from repro.simulation import ExactSimulator, measure
+
+ZETAS = (0.25, 0.5, 1.0, 1.5, 3.0)
+SINK = "n7"
+
+
+def sketch(t, exact, model, width=64, height=12):
+    """ASCII overlay: '*' exact, 'o' model, '#' where they coincide."""
+    v_max = max(exact.max(), model.max(), 1.05)
+    rows = [[" "] * width for _ in range(height)]
+    for column in range(width):
+        index = int(column / (width - 1) * (t.size - 1))
+
+        def row_of(value):
+            r = int((1.0 - value / v_max) * (height - 1))
+            return min(max(r, 0), height - 1)
+
+        re, rm = row_of(exact[index]), row_of(model[index])
+        rows[re][column] = "*"
+        rows[rm][column] = "#" if rm == re else "o"
+    supply_row = int((1.0 - 1.0 / v_max) * (height - 1))
+    for column in range(width):
+        if rows[supply_row][column] == " ":
+            rows[supply_row][column] = "-"
+    return "\n".join("".join(r) for r in rows)
+
+
+def main() -> None:
+    for zeta in ZETAS:
+        tree = scale_tree_to_zeta(fig5_tree(), SINK, zeta)
+        analyzer = TreeAnalyzer(tree)
+        timing = analyzer.timing(SINK)
+
+        simulator = ExactSimulator(tree)
+        t = simulator.time_grid(points=4001, span_factor=10.0)
+        exact = simulator.step_response(SINK, t)
+        model = analyzer.step_waveform(SINK, t)
+        metrics = measure(t, exact)
+
+        regime = (
+            "underdamped" if zeta < 1
+            else "critically damped" if zeta == 1
+            else "overdamped"
+        )
+        print("=" * 70)
+        print(f"zeta = {zeta}  ({regime})")
+        print(sketch(t, exact, model))
+        print(f"  50% delay : model {timing.delay_50 * 1e12:7.1f} ps | "
+              f"simulated {metrics.delay_50 * 1e12:7.1f} ps")
+        print(f"  rise time : model {timing.rise_time * 1e12:7.1f} ps | "
+              f"simulated {metrics.rise_time * 1e12:7.1f} ps")
+        if timing.is_underdamped:
+            train = analyzer.overshoots(SINK, threshold=1e-2)
+            peaks = ", ".join(
+                f"{'+' if p.is_overshoot else '-'}{p.fraction:.1%}"
+                for p in train[:4]
+            )
+            print(f"  ringing   : peaks {peaks}; settles (10% band) at "
+                  f"{timing.settling * 1e12:.1f} ps")
+        else:
+            print(f"  monotone  : no overshoot; enters 10% band at "
+                  f"{timing.settling * 1e12:.1f} ps")
+        print(f"  RC Elmore would say {np.log(2) * timing.t_rc * 1e12:.1f} ps"
+              f" regardless of L")
+    print("=" * 70)
+    print(
+        "one continuous expression covered all five regimes — the property "
+        "that lets the model sit inside optimizers (no derivative "
+        "discontinuities at zeta = 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

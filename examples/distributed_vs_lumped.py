@@ -1,0 +1,77 @@
+"""How many sections does a wire need? The distributed line answers.
+
+Every RLC-tree model lumps wires. The exact physics is the lossy
+transmission line (telegraph equations); this example computes its step
+response directly — ABCD matrices plus Talbot numerical Laplace
+inversion — and watches the lumped ladder converge to it, then shows
+what no lumped model can do: the time-of-flight dead band before the
+wavefront arrives.
+
+Run:  python examples/distributed_vs_lumped.py
+"""
+
+import numpy as np
+
+from repro.analysis import TreeAnalyzer
+from repro.simulation import ExactSimulator, TransmissionLine, measures, rms_error
+
+
+def main() -> None:
+    line = TransmissionLine(
+        resistance=6.6e3,  # ohm/m  (6.6 ohm/mm: a wide clock wire)
+        inductance=0.36e-6,  # H/m
+        capacitance=0.16e-9,  # F/m
+        length=5e-3,
+        source_resistance=30.0,
+        load_capacitance=50e-15,
+    )
+    print("5-mm wide clock wire, 30-ohm driver, 50-fF load")
+    print(f"  Z0 = {line.characteristic_impedance:.1f} ohm, "
+          f"time of flight = {line.time_of_flight * 1e12:.1f} ps, "
+          f"attenuation = {line.attenuation:.2f}")
+
+    t = line.time_grid(points=400)
+    reference = line.step_response(t)
+    ref_delay = measures.delay_50(t, reference)
+    print(f"  distributed 50% delay: {ref_delay * 1e12:.2f} ps\n")
+
+    print(f"{'sections':>9} {'waveform RMS':>13} {'delay err':>10} "
+          f"{'eq35 vs distributed':>20}")
+    for sections in (2, 5, 10, 20, 40):
+        ladder = line.lumped_ladder(sections)
+        simulator = ExactSimulator(ladder)
+        waveform = simulator.step_response(line.sink_name(sections), t)
+        delay = measures.delay_50(t, waveform)
+        model = TreeAnalyzer(ladder).delay_50(line.sink_name(sections))
+        print(
+            f"{sections:>9} {rms_error(reference, waveform):>13.4f} "
+            f"{abs(delay - ref_delay) / ref_delay:>10.1%} "
+            f"{abs(model - ref_delay) / ref_delay:>20.1%}"
+        )
+
+    # The dead band: a lumped ladder starts moving at t = 0+; the real
+    # wire cannot respond before the wavefront arrives. Sharpest on a
+    # low-loss line, where the arrival is a step, not a smear.
+    crisp = TransmissionLine(
+        resistance=1e3, inductance=0.36e-6, capacitance=0.16e-9,
+        length=5e-3, source_resistance=47.0, load_capacitance=0.0,
+    )
+    tc = crisp.time_grid(flights=3.0, points=300)
+    vc = crisp.step_response(tc)
+    arrival = float(tc[np.argmax(vc > 0.3)])
+    print(
+        f"\nlow-loss variant: the sink sits below 0.014 V until the "
+        f"wavefront lands at {arrival * 1e12:.1f} ps "
+        f"(time of flight {crisp.time_of_flight * 1e12:.1f} ps), then "
+        f"jumps to {float(vc[np.argmax(vc > 0.3) + 5]):.2f} V — the "
+        "sharp arrival no finite lumped ladder reproduces."
+    )
+    print(
+        "\ntakeaway: ~20 sections make the lumping error smaller than the "
+        "closed-form model's own 2-pole floor, which is why this repo "
+        "defaults to 20 everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Optimal repeater insertion: inductance means fewer, smaller repeaters.
+
+The most-cited consequence of the equivalent Elmore delay (Ismail &
+Friedman's follow-on TVLSI paper): the classic Bakoglu RC recipe
+over-inserts repeaters on inductive lines. This example sweeps a 10-mm
+line from resistance-dominated to inductance-dominated and shows the
+RLC-aware optimal repeater count collapsing while the RC answer stays
+put — with the per-configuration optimum found by pure closed-form
+evaluation (no simulation in the loop).
+
+Run:  python examples/repeater_insertion_demo.py
+"""
+
+from repro.apps import (
+    LineParameters,
+    RepeaterLibrary,
+    bakoglu_rc,
+    optimize_repeaters,
+)
+
+
+def main() -> None:
+    library = RepeaterLibrary(
+        unit_resistance=1000.0, unit_capacitance=2e-15, intrinsic_delay=2e-12
+    )
+    print("10-mm line, 30 ohm/mm and 0.2 pF/mm, inductance swept:\n")
+    print(f"{'L (nH/mm)':>10} {'zeta-ish':>9} | {'Bakoglu k':>9} | "
+          f"{'RC-opt k':>8} {'h':>5} | {'RLC-opt k':>9} {'h':>5} "
+          f"{'delay':>10}")
+
+    for l_per_mm in (0.0, 0.1, 0.4, 1.0, 2.0):
+        line = LineParameters(
+            resistance=300.0,
+            inductance=l_per_mm * 1e-9 * 10,
+            capacitance=2e-12,
+        )
+        regime = (
+            "rc" if line.inductance == 0
+            else f"{0.5 * line.resistance * (line.capacitance / line.inductance) ** 0.5:.2f}"
+        )
+        closed = bakoglu_rc(line, library)
+        rc_plan = optimize_repeaters(line, library, "rc")
+        rlc_plan = optimize_repeaters(line, library, "rlc")
+        print(
+            f"{l_per_mm:>10.1f} {regime:>9} | {closed.count:>9} | "
+            f"{rc_plan.count:>8} {rc_plan.size:>5.0f} | "
+            f"{rlc_plan.count:>9} {rlc_plan.size:>5.0f} "
+            f"{rlc_plan.total_delay * 1e12:>8.1f}ps"
+        )
+
+    print(
+        "\nreading the table: the RC column cannot see the inductance, so "
+        "its answer never changes. The RLC-aware optimum inserts fewer and "
+        "smaller repeaters as the line becomes inductance-dominated — an "
+        "underdamped wire is faster than its RC skeleton, so chopping it "
+        "up buys less than each repeater costs. Fewer repeaters is also "
+        "less area and power: the design win the paper's closed forms pay "
+        "for themselves with."
+    )
+
+
+if __name__ == "__main__":
+    main()

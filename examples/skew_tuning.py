@@ -1,0 +1,56 @@
+"""Closing the loop: fix a clock tree's skew with the analytic gradient.
+
+A perturbed clock tree arrives with tens of picoseconds of skew. The
+closed-form delay is differentiable (repro.analysis.sensitivity), so a
+plain projected gradient descent on per-section wire widths can equalize
+the sinks — with zero simulations inside the loop. The result is then
+judged by exact simulation, which is the only score that counts.
+
+Run:  python examples/skew_tuning.py
+"""
+
+from repro.apps import (
+    h_tree,
+    perturbed_clock_tree,
+    skew_report,
+    tune_clock_tree,
+)
+
+
+def main() -> None:
+    nominal = h_tree(levels=3)
+    tree = perturbed_clock_tree(nominal, relative_spread=0.15, seed=5)
+    print(f"mismatched clock tree: {tree}")
+
+    before = skew_report(tree)
+    print(f"\nbefore tuning:")
+    print(f"  exact simulated skew : {before.exact_skew * 1e12:6.1f} ps")
+    print(f"  model-estimated skew : {before.rlc_skew * 1e12:6.1f} ps")
+
+    result = tune_clock_tree(tree)
+    print(f"\ngradient descent: {result.iterations} iterations, "
+          f"objective trace {len(result.objective_trace)} points, "
+          f"widths in "
+          f"[{min(result.widths.values()):.2f}, "
+          f"{max(result.widths.values()):.2f}]")
+    print(f"  model skew claim     : {result.skew_before * 1e12:6.1f} ps "
+          f"-> {result.skew_after * 1e12:6.2f} ps "
+          f"({result.improvement:.0%} removed)")
+
+    after = skew_report(result.tuned_tree)
+    print(f"\nafter tuning (exact simulation of the tuned tree):")
+    print(f"  exact simulated skew : {after.exact_skew * 1e12:6.1f} ps "
+          f"({1 - after.exact_skew / before.exact_skew:.0%} of the real "
+          f"skew removed)")
+
+    print(
+        "\nthe residual is the model's own error — the optimizer drove its "
+        "estimate to nearly zero, and reality followed as far as a 2-pole "
+        "model can see. Every gradient was one O(n) pass (eq. 33's "
+        "derivative in closed form); a SPICE-in-the-loop tuner would have "
+        "paid thousands of transient runs for the same trajectory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Closed-form delay and rise-time expressions (paper Section IV).
+
+The real-time figures of merit at node ``i`` follow from the scaled fits
+by dividing out the natural frequency (eqs. 35-38)::
+
+    t_50%(i)  = (1.047 e^(-zeta_i/0.85) + 1.39 zeta_i) / w_ni
+    t_rise(i) = scaled_rise(zeta_i) / w_ni
+
+For large zeta (weak inductance) these reduce to the Elmore (Wyatt)
+expressions for RC trees — ``t_50% -> ln 2 * T_RC`` — which is the
+paper's headline property: the RC Elmore delay is the limiting special
+case of the RLC equivalent delay. The RC-only entry points here
+(:func:`elmore_delay`, :func:`wyatt_rise_time`) implement that limit
+directly so inductance-free trees never touch a division by
+``w_n = infinity``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ElementValueError
+from .fitting import scaled_delay, scaled_rise
+from .second_order import SecondOrderModel
+
+__all__ = [
+    "delay_50",
+    "rise_time",
+    "delay_50_from_sums",
+    "rise_time_from_sums",
+    "elmore_time_constant",
+    "elmore_delay",
+    "wyatt_rise_time",
+]
+
+_LN2 = math.log(2.0)
+#: 10-90% span of a single-pole exponential: ln(0.9/0.1).
+_LN9 = math.log(9.0)
+
+
+def delay_50(model: SecondOrderModel) -> float:
+    """Eq. 35: the 50% propagation delay of one node's model."""
+    return scaled_delay(model.zeta) / model.omega_n
+
+
+def rise_time(model: SecondOrderModel) -> float:
+    """Eq. 36: the 10-90% rise time of one node's model."""
+    return scaled_rise(model.zeta) / model.omega_n
+
+
+def delay_50_from_sums(t_rc: float, t_lc: float) -> float:
+    """50% delay straight from the tree sums (eqs. 29-30 then 35).
+
+    Falls back to the Elmore (Wyatt) RC expression when ``T_LC`` is zero,
+    making the function continuous across the RC limit: as T_LC -> 0,
+    zeta -> infinity and the fitted formula's ``1.39 zeta / w_n`` term
+    approaches ``0.695 T_RC ~ ln 2 * T_RC``.
+    """
+    if t_rc <= 0.0:
+        raise ElementValueError(f"T_RC must be positive, got {t_rc!r}")
+    if t_lc < 0.0:
+        raise ElementValueError(f"T_LC must be non-negative, got {t_lc!r}")
+    if t_lc == 0.0:
+        return elmore_delay(t_rc)
+    return delay_50(SecondOrderModel.from_sums(t_rc, t_lc))
+
+
+def rise_time_from_sums(t_rc: float, t_lc: float) -> float:
+    """10-90% rise time straight from the tree sums, RC limit included."""
+    if t_rc <= 0.0:
+        raise ElementValueError(f"T_RC must be positive, got {t_rc!r}")
+    if t_lc < 0.0:
+        raise ElementValueError(f"T_LC must be non-negative, got {t_lc!r}")
+    if t_lc == 0.0:
+        return wyatt_rise_time(t_rc)
+    return rise_time(SecondOrderModel.from_sums(t_rc, t_lc))
+
+
+def elmore_time_constant(t_rc: float) -> float:
+    """Elmore's original delay estimate: the first moment itself (eq. 1).
+
+    Elmore located the 50% point at the centroid ``T_RC``; Wyatt's
+    refinement (used by everyone since under the name "Elmore delay")
+    multiplies by ln 2. Exposed separately because some classic tools
+    report the raw time constant.
+    """
+    return t_rc
+
+
+def elmore_delay(t_rc: float) -> float:
+    """The Elmore (Wyatt) 50% delay of an RC node: ``ln 2 * T_RC``."""
+    if t_rc < 0.0:
+        raise ElementValueError(f"T_RC must be non-negative, got {t_rc!r}")
+    return _LN2 * t_rc
+
+
+def wyatt_rise_time(t_rc: float) -> float:
+    """Single-pole 10-90% rise time of an RC node: ``ln 9 * T_RC``."""
+    if t_rc < 0.0:
+        raise ElementValueError(f"T_RC must be non-negative, got {t_rc!r}")
+    return _LN9 * t_rc

@@ -1,0 +1,228 @@
+"""O(n) moment computation for RLC trees (the paper's Appendix).
+
+The second-order model at node ``i`` needs two sums over every capacitor
+``k`` in the tree (eqs. 26-27)::
+
+    T_RC(i) = sum_k C_k R_ki        T_LC(i) = sum_k C_k L_ki
+
+Computing them naively costs O(n^2). The Appendix's insight (inherited
+from Rubinstein-Penfield for RC trees) is that both can be rewritten as
+path sums::
+
+    T_RC(i) = sum_{s in path(i)} R_s * C_load(s)
+
+where ``C_load(s)`` is the total capacitance of the subtree hanging off
+section ``s`` — because section ``s`` is common to the root paths of
+``i`` and ``k`` exactly when ``k`` is in ``s``'s subtree. Two depth-first
+passes then evaluate the sums at *all* nodes:
+
+1. ``Cal_Cap_Loads`` (postorder): accumulate subtree capacitances —
+   additions only;
+2. ``Cal_Summations`` (preorder): ``S(i) = S(parent) + R_i * C_load(i)``
+   (and the L analogue) — two multiplications per section.
+
+The same trick generalizes to *exact* transfer-function moments of any
+order. Expanding the tree's exact node transfer functions in powers of
+``s`` gives the recursion (derived from the path-trace expression of
+eq. 20)::
+
+    m_j(i) = - sum_k [ R_ki * C_k m_{j-1}(k)  +  L_ki * C_k m_{j-2}(k) ]
+
+which is the same weighted-path-sum shape with weights
+``C_k * m_{j-1}(k)`` and ``C_k * m_{j-2}(k)``; each moment order is one
+more O(n) sweep. This exact engine powers the AWE baseline
+(:mod:`repro.reduction.awe`) and the ablation that compares the paper's
+approximate second moment (eq. 28) against the exact one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuit.tree import RLCTree
+from ..errors import ReductionError
+
+__all__ = [
+    "capacitive_loads",
+    "weighted_path_sums",
+    "second_order_sums",
+    "elmore_sums",
+    "inductance_sums",
+    "exact_moments",
+    "MomentSummary",
+    "moment_summary",
+    "multiplication_count",
+]
+
+
+def capacitive_loads(tree: RLCTree) -> Dict[str, float]:
+    """Total capacitance driven by each section (``Cal_Cap_Loads``).
+
+    ``C_load(s)`` is the capacitance of the subtree rooted at ``s``
+    (including ``s`` itself). Computed in one postorder pass with
+    additions only.
+    """
+    loads: Dict[str, float] = {}
+    for name in tree.postorder():
+        total = tree.section(name).capacitance
+        for child in tree.children(name):
+            total += loads[child]
+        loads[name] = total
+    return loads
+
+
+def weighted_path_sums(
+    tree: RLCTree,
+    resistance_weights: Dict[str, float],
+    inductance_weights: Dict[str, float],
+) -> Dict[str, float]:
+    """Evaluate ``sum_k R_ki w_r(k) + sum_k L_ki w_l(k)`` at every node.
+
+    This is the generalized ``Cal_Summations`` kernel: given per-node
+    weights, one postorder pass accumulates subtree weight totals and one
+    preorder pass propagates the path sums down from the root. Cost is
+    O(n) with two multiplications per section.
+
+    The classic sums are the special case ``w_r = w_l = C_k``; the exact
+    moment recursion uses ``w_r(k) = C_k m_{j-1}(k)``,
+    ``w_l(k) = C_k m_{j-2}(k)``.
+    """
+    subtree_r: Dict[str, float] = {}
+    subtree_l: Dict[str, float] = {}
+    for name in tree.postorder():
+        total_r = resistance_weights.get(name, 0.0)
+        total_l = inductance_weights.get(name, 0.0)
+        for child in tree.children(name):
+            total_r += subtree_r[child]
+            total_l += subtree_l[child]
+        subtree_r[name] = total_r
+        subtree_l[name] = total_l
+
+    sums: Dict[str, float] = {}
+    for name in tree.preorder():
+        section = tree.section(name)
+        parent = tree.parent(name)
+        upstream = sums[parent] if parent != tree.root else 0.0
+        sums[name] = (
+            upstream
+            + section.resistance * subtree_r[name]
+            + section.inductance * subtree_l[name]
+        )
+    return sums
+
+
+def second_order_sums(tree: RLCTree) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """``(T_RC, T_LC)`` at every node in O(n) — the Appendix algorithm.
+
+    Returns two dicts keyed by node name. ``T_RC`` is the Elmore sum of
+    eq. 26; ``T_LC`` is its inductive analogue of eq. 27.
+    """
+    loads = capacitive_loads(tree)
+    t_rc: Dict[str, float] = {}
+    t_lc: Dict[str, float] = {}
+    for name in tree.preorder():
+        section = tree.section(name)
+        parent = tree.parent(name)
+        up_rc = t_rc[parent] if parent != tree.root else 0.0
+        up_lc = t_lc[parent] if parent != tree.root else 0.0
+        t_rc[name] = up_rc + section.resistance * loads[name]
+        t_lc[name] = up_lc + section.inductance * loads[name]
+    return t_rc, t_lc
+
+
+def elmore_sums(tree: RLCTree) -> Dict[str, float]:
+    """``T_RC`` (the Elmore time constant sum) at every node, O(n)."""
+    return second_order_sums(tree)[0]
+
+
+def inductance_sums(tree: RLCTree) -> Dict[str, float]:
+    """``T_LC`` at every node, O(n)."""
+    return second_order_sums(tree)[1]
+
+
+def exact_moments(tree: RLCTree, order: int) -> Dict[str, List[float]]:
+    """Exact transfer-function moments ``m_0 .. m_order`` at every node.
+
+    ``m_j`` is the coefficient of ``s^j`` in the node's exact normalized
+    transfer function (eq. 11). ``m_0 = 1``; each further order is one
+    O(n) weighted-path-sum sweep, so the total cost is O(n * order).
+    """
+    if order < 0:
+        raise ReductionError("moment order must be non-negative")
+    moments: Dict[str, List[float]] = {name: [1.0] for name in tree.nodes}
+    previous: Dict[str, float] = {name: 1.0 for name in tree.nodes}
+    before_previous: Dict[str, float] = {name: 0.0 for name in tree.nodes}
+
+    for _ in range(order):
+        w_r = {
+            name: tree.section(name).capacitance * previous[name]
+            for name in tree.nodes
+        }
+        w_l = {
+            name: tree.section(name).capacitance * before_previous[name]
+            for name in tree.nodes
+        }
+        sums = weighted_path_sums(tree, w_r, w_l)
+        current = {name: -sums[name] for name in tree.nodes}
+        for name in tree.nodes:
+            moments[name].append(current[name])
+        before_previous = previous
+        previous = current
+    return moments
+
+
+@dataclass(frozen=True)
+class MomentSummary:
+    """The low-order moment picture at one node.
+
+    ``m2_approx`` is the paper's eq.-28 Elmore-style approximation
+    ``T_RC^2 - T_LC``; ``m2_exact`` the true coefficient. Their gap is
+    what the second-order model gives up for O(n) tractability, and the
+    ``bench_ablation_m2`` benchmark quantifies its delay impact.
+    """
+
+    node: str
+    t_rc: float
+    t_lc: float
+    m1: float
+    m2_exact: float
+
+    @property
+    def m2_approx(self) -> float:
+        return self.t_rc * self.t_rc - self.t_lc
+
+    @property
+    def m2_relative_gap(self) -> float:
+        """|m2_approx - m2_exact| / |m2_exact| (0 when both vanish)."""
+        if self.m2_exact == 0.0:
+            return 0.0 if self.m2_approx == 0.0 else float("inf")
+        return abs(self.m2_approx - self.m2_exact) / abs(self.m2_exact)
+
+
+def moment_summary(tree: RLCTree, nodes: Sequence[str] | None = None) -> Dict[str, MomentSummary]:
+    """Per-node :class:`MomentSummary` for ``nodes`` (default: all)."""
+    t_rc, t_lc = second_order_sums(tree)
+    exact = exact_moments(tree, 2)
+    selected = tree.nodes if nodes is None else tuple(nodes)
+    return {
+        name: MomentSummary(
+            node=name,
+            t_rc=t_rc[name],
+            t_lc=t_lc[name],
+            m1=exact[name][1],
+            m2_exact=exact[name][2],
+        )
+        for name in selected
+    }
+
+
+def multiplication_count(tree: RLCTree) -> int:
+    """Multiplications to evaluate the model at all nodes (Appendix).
+
+    ``Cal_Cap_Loads`` needs none; ``Cal_Summations`` needs two per
+    section (``R_i * C_load`` and ``L_i * C_load``), so the count is
+    ``2 n`` — exactly the order of the tree's characteristic polynomial
+    (each section contributes one L state and one C state).
+    """
+    return 2 * tree.size

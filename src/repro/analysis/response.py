@@ -1,0 +1,90 @@
+"""Closed-form time-domain waveforms from the second-order model.
+
+Section IV's recipe for an arbitrary input: multiply the input's Laplace
+transform by the node's second-order transfer function and invert. For
+the inputs the paper uses — step (eq. 31), exponential (eqs. 44-48),
+ramp — :class:`~repro.analysis.second_order.SecondOrderModel` carries the
+inverse transforms analytically; this module dispatches the library's
+:mod:`~repro.simulation.sources` objects onto them and adds the general
+fallback (numerical convolution with the model's impulse response) for
+any other waveform, which is the "iterative method" the paper alludes to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..simulation.sources import (
+    ExponentialSource,
+    PWLSource,
+    RampSource,
+    Source,
+    StepSource,
+)
+from .second_order import SecondOrderModel
+
+__all__ = ["model_response", "convolution_response"]
+
+
+def model_response(
+    model: SecondOrderModel,
+    source: Union[Source, Callable[[np.ndarray], np.ndarray]],
+    t: np.ndarray,
+) -> np.ndarray:
+    """Second-order-model waveform at a node for any supported source.
+
+    Steps, exponentials, ramps and PWL waveforms evaluate in closed form;
+    arbitrary callables fall back to :func:`convolution_response` (which
+    requires a uniform time grid).
+    """
+    t = np.asarray(t, dtype=float)
+    if isinstance(source, StepSource):
+        return model.step_response(t, source.amplitude, source.delay)
+    if isinstance(source, ExponentialSource):
+        return model.exponential_response(
+            t, source.tau, source.amplitude, source.delay
+        )
+    if isinstance(source, RampSource):
+        return model.ramp_response(t, source.rise_time, source.amplitude, source.delay)
+    if isinstance(source, PWLSource):
+        out = np.zeros_like(t)
+        for start, slope_change in source.ramp_segments():
+            out += slope_change * model._unit_ramp_response(t - start)
+        return out
+    if callable(source):
+        return convolution_response(model, source, t)
+    raise SimulationError(
+        f"unsupported source type {type(source).__name__}"
+    )
+
+
+def convolution_response(
+    model: SecondOrderModel,
+    source: Callable[[np.ndarray], np.ndarray],
+    t: np.ndarray,
+) -> np.ndarray:
+    """Numerical convolution of the model's impulse response with ``source``.
+
+    ``t`` must be a uniform grid starting at (or before) the first
+    nonzero input. Trapezoid-weighted discrete convolution; accuracy is
+    second order in the step size, so sample a few hundred points per
+    ringing period.
+    """
+    t = np.asarray(t, dtype=float)
+    if t.ndim != 1 or t.size < 2:
+        raise SimulationError("time grid needs at least two points")
+    steps = np.diff(t)
+    h = float(steps[0])
+    if h <= 0.0 or not np.allclose(steps, h, rtol=1e-9, atol=0.0):
+        raise SimulationError("convolution needs a uniform time grid")
+    u = np.asarray(source(t), dtype=float)
+    if u.shape != t.shape:
+        raise SimulationError("source(t) must return an array shaped like t")
+    impulse = model.impulse_response(t - t[0])
+    # Trapezoid weights: half weight on the endpoints of the window.
+    full = np.convolve(u, impulse)[: t.size] * h
+    correction = 0.5 * h * (u[0] * impulse + u * impulse[0])
+    return full - correction

@@ -1,0 +1,279 @@
+"""The equivalent second-order model (paper Section III).
+
+At every node of an RLC tree the paper approximates the exact transfer
+function by the canonical second-order low-pass (eq. 13)::
+
+            1
+    H(s) = ---------------------------------
+            1 + (2 zeta / w_n) s + s^2/w_n^2
+
+with the damping factor ``zeta`` and natural frequency ``w_n`` chosen to
+match the first moment exactly and the second moment in the Elmore-style
+approximation (eqs. 28-30)::
+
+    w_n  = 1 / sqrt(T_LC)
+    zeta = T_RC / (2 sqrt(T_LC))
+
+:class:`SecondOrderModel` packages one (zeta, w_n) pair with every
+closed-form response the paper derives from it: step (eq. 31), the
+time-scaled step (eq. 32), exponential input (eqs. 44-48), ramp, and
+impulse. All damping regimes — underdamped, critically damped,
+overdamped — are handled by a single continuous implementation, which is
+the whole point of the paper's formulation.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import ElementValueError
+
+__all__ = ["SecondOrderModel"]
+
+#: zeta values within this distance of 1.0 use the critically damped
+#: closed forms; the generic two-pole expressions lose precision there.
+_CRITICAL_BAND = 1e-7
+
+
+@dataclass(frozen=True)
+class SecondOrderModel:
+    """One node's equivalent second-order approximation.
+
+    Parameters
+    ----------
+    zeta:
+        Equivalent damping factor (eq. 30). ``zeta < 1`` rings,
+        ``zeta > 1`` is monotone, ``zeta = 1`` is critically damped.
+    omega_n:
+        Equivalent natural frequency in rad/s (eq. 29).
+    """
+
+    zeta: float
+    omega_n: float
+
+    def __post_init__(self):
+        if not (self.zeta > 0.0 and math.isfinite(self.zeta)):
+            raise ElementValueError(f"zeta must be positive/finite, got {self.zeta!r}")
+        if not (self.omega_n > 0.0 and math.isfinite(self.omega_n)):
+            raise ElementValueError(
+                f"omega_n must be positive/finite, got {self.omega_n!r}"
+            )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_sums(cls, t_rc: float, t_lc: float) -> "SecondOrderModel":
+        """Build from the tree sums ``T_RC`` and ``T_LC`` (eqs. 29-30).
+
+        ``T_LC`` must be positive: a zero-inductance node has no finite
+        second-order model (its equivalent zeta is infinite); use the RC
+        Elmore expressions in :mod:`repro.analysis.delay` instead.
+        """
+        if t_rc <= 0.0:
+            raise ElementValueError(f"T_RC must be positive, got {t_rc!r}")
+        if t_lc <= 0.0:
+            raise ElementValueError(
+                f"T_LC must be positive, got {t_lc!r}; an RC node has no "
+                "finite second-order model (zeta is infinite)"
+            )
+        omega_n = 1.0 / math.sqrt(t_lc)
+        zeta = 0.5 * t_rc * omega_n
+        return cls(zeta=zeta, omega_n=omega_n)
+
+    @classmethod
+    def from_moments(cls, m1: float, m2: float) -> "SecondOrderModel":
+        """Build by matching the first two moments exactly (eqs. 18-19).
+
+        ``H(s) = 1 + m1 s + m2 s^2 + ...`` requires ``m1 < 0`` and
+        ``m1^2 - m2 > 0`` for a realizable (stable) second-order model.
+        """
+        if m1 >= 0.0:
+            raise ElementValueError(f"m1 must be negative, got {m1!r}")
+        radicand = m1 * m1 - m2
+        if radicand <= 0.0:
+            raise ElementValueError(
+                f"m1^2 - m2 = {radicand!r} must be positive for a stable "
+                "second-order match"
+            )
+        omega_n = 1.0 / math.sqrt(radicand)
+        zeta = -0.5 * m1 * omega_n
+        return cls(zeta=zeta, omega_n=omega_n)
+
+    # -- descriptive properties ---------------------------------------------
+
+    @property
+    def is_underdamped(self) -> bool:
+        return self.zeta < 1.0
+
+    @property
+    def damped_frequency(self) -> float:
+        """Ringing frequency ``w_n sqrt(1 - zeta^2)``; 0 when monotone."""
+        if self.zeta >= 1.0:
+            return 0.0
+        return self.omega_n * math.sqrt(1.0 - self.zeta * self.zeta)
+
+    @property
+    def time_scale(self) -> float:
+        """The ``1/w_n`` scale that maps eq. 32's tau to real time."""
+        return 1.0 / self.omega_n
+
+    def poles(self) -> Tuple[complex, complex]:
+        """The model's two poles (eq. 16)."""
+        root = cmath.sqrt(complex(self.zeta * self.zeta - 1.0, 0.0))
+        return (
+            self.omega_n * (-self.zeta + root),
+            self.omega_n * (-self.zeta - root),
+        )
+
+    def moments(self, order: int = 2) -> Tuple[float, ...]:
+        """Taylor coefficients ``m_0..m_order`` of H(s) (eq. 17 expanded).
+
+        Satisfies the recursion
+        ``m_j = -(2 zeta / w_n) m_{j-1} - m_{j-2} / w_n^2``.
+        """
+        coeff1 = -2.0 * self.zeta / self.omega_n
+        coeff2 = -1.0 / (self.omega_n * self.omega_n)
+        out = [1.0]
+        if order >= 1:
+            out.append(coeff1)
+        for _ in range(2, order + 1):
+            out.append(coeff1 * out[-1] + coeff2 * out[-2])
+        return tuple(out[: order + 1])
+
+    def transfer_function(
+        self, s: Union[complex, np.ndarray]
+    ) -> Union[complex, np.ndarray]:
+        """Evaluate ``H(s)`` (eq. 13) at scalar or array ``s``."""
+        s = np.asarray(s, dtype=complex)
+        wn = self.omega_n
+        h = 1.0 / (1.0 + (2.0 * self.zeta / wn) * s + (s / wn) ** 2)
+        return h if h.ndim else complex(h)
+
+    # -- time-domain responses -----------------------------------------------
+
+    def scaled_step_response(self, tau: np.ndarray) -> np.ndarray:
+        """Eq. 32: the step response in scaled time ``tau = w_n t``.
+
+        Depends only on zeta — the scaling observation that makes the
+        one-variable curve fits of Fig. 6 possible. Clamped to 0 for
+        negative tau.
+        """
+        tau = np.asarray(tau, dtype=float)
+        z = self.zeta
+        t = np.maximum(tau, 0.0)
+        if z < 1.0 - _CRITICAL_BAND:
+            rad = math.sqrt(1.0 - z * z)
+            phase = math.acos(z)
+            v = 1.0 - np.exp(-z * t) * np.sin(rad * t + phase) / rad
+        elif z <= 1.0 + _CRITICAL_BAND:
+            v = 1.0 - (1.0 + t) * np.exp(-t)
+        else:
+            rad = math.sqrt(z * z - 1.0)
+            s1 = -z + rad  # scaled poles (units of w_n)
+            s2 = -z - rad
+            v = 1.0 + (s2 * np.exp(s1 * t) - s1 * np.exp(s2 * t)) / (2.0 * rad)
+        return np.where(tau >= 0.0, v, 0.0)
+
+    def step_response(
+        self, t: np.ndarray, amplitude: float = 1.0, delay: float = 0.0
+    ) -> np.ndarray:
+        """Eq. 31: step response in real time."""
+        t = np.asarray(t, dtype=float)
+        return amplitude * self.scaled_step_response(self.omega_n * (t - delay))
+
+    def impulse_response(self, t: np.ndarray) -> np.ndarray:
+        """Unit-impulse response (time derivative of the step response)."""
+        t = np.asarray(t, dtype=float)
+        tt = np.maximum(t, 0.0)
+        z, wn = self.zeta, self.omega_n
+        if z < 1.0 - _CRITICAL_BAND:
+            wd = wn * math.sqrt(1.0 - z * z)
+            v = (wn * wn / wd) * np.exp(-z * wn * tt) * np.sin(wd * tt)
+        elif z <= 1.0 + _CRITICAL_BAND:
+            v = wn * wn * tt * np.exp(-wn * tt)
+        else:
+            rad = math.sqrt(z * z - 1.0)
+            s1 = wn * (-z + rad)
+            s2 = wn * (-z - rad)
+            v = (np.exp(s1 * tt) - np.exp(s2 * tt)) * wn / (2.0 * rad)
+        return np.where(t >= 0.0, v, 0.0)
+
+    # -- responses to shaped inputs --------------------------------------------
+
+    def _residue_pairs(self) -> Tuple[Tuple[complex, complex], ...]:
+        """Pole/residue pairs of H(s); nudges exact critical damping.
+
+        ``H(s) = w_n^2 / ((s - s1)(s - s2)) = r/(s - s1) - r/(s - s2)``
+        with ``r = w_n^2 / (s1 - s2)``. At zeta exactly 1 the poles
+        collide; a 1e-7 relative nudge keeps the pair form valid with
+        error far below the model's own approximation error.
+        """
+        z = self.zeta
+        if abs(z - 1.0) <= _CRITICAL_BAND:
+            z = 1.0 + 10.0 * _CRITICAL_BAND
+        root = cmath.sqrt(complex(z * z - 1.0, 0.0))
+        s1 = self.omega_n * (-z + root)
+        s2 = self.omega_n * (-z - root)
+        r = self.omega_n * self.omega_n / (s1 - s2)
+        return ((s1, r), (s2, -r))
+
+    def exponential_response(
+        self,
+        t: np.ndarray,
+        tau: float,
+        amplitude: float = 1.0,
+        delay: float = 0.0,
+    ) -> np.ndarray:
+        """Eqs. 44-48: response to ``V (1 - exp(-t/tau)) u(t)``.
+
+        ``tau`` is the input's exponential time constant (its 0-90% rise
+        time is ``2.3 tau``, the paper's measure).
+        """
+        if tau <= 0.0:
+            raise ElementValueError("input tau must be positive")
+        t = np.asarray(t, dtype=float)
+        tt = np.maximum(t - delay, 0.0)
+        a = 1.0 / tau
+        total = np.zeros(tt.shape, dtype=complex)
+        for pole, residue in self._residue_pairs():
+            step_part = (np.exp(pole * tt) - 1.0) / pole
+            shift = pole + a
+            if abs(shift) <= 1e-9 * (abs(pole) + a):
+                exp_part = tt * np.exp(pole * tt)
+            else:
+                exp_part = (np.exp(pole * tt) - np.exp(-a * tt)) / shift
+            total += residue * (step_part - exp_part)
+        out = amplitude * total.real
+        return np.where(t >= delay, out, 0.0)
+
+    def ramp_response(
+        self,
+        t: np.ndarray,
+        rise_time: float,
+        amplitude: float = 1.0,
+        delay: float = 0.0,
+    ) -> np.ndarray:
+        """Response to a saturating ramp (0 to ``amplitude`` over
+        ``rise_time``), by superposing two analytic ramp responses."""
+        if rise_time <= 0.0:
+            raise ElementValueError("rise_time must be positive")
+        t = np.asarray(t, dtype=float)
+        slope = amplitude / rise_time
+        return slope * (
+            self._unit_ramp_response(t - delay)
+            - self._unit_ramp_response(t - delay - rise_time)
+        )
+
+    def _unit_ramp_response(self, t: np.ndarray) -> np.ndarray:
+        """Response to ``u(t) = t`` for ``t >= 0`` (unit slope)."""
+        t = np.asarray(t, dtype=float)
+        tt = np.maximum(t, 0.0)
+        total = np.zeros(tt.shape, dtype=complex)
+        for pole, residue in self._residue_pairs():
+            total += residue * (np.exp(pole * tt) - 1.0 - pole * tt) / (pole * pole)
+        return np.where(t >= 0.0, total.real, 0.0)

@@ -1,0 +1,79 @@
+"""Design methodologies built on the continuous RLC delay model.
+
+The paper's closing argument is that its expressions are "useful for
+optimization and synthesis in VLSI-based design methodologies"; this
+package demonstrates exactly that:
+
+* :mod:`~repro.apps.buffer_insertion` — van Ginneken buffering with a
+  pluggable RC/RLC wire-delay model,
+* :mod:`~repro.apps.wire_sizing` — continuous width optimization with
+  the closed-form delay inside the loop,
+* :mod:`~repro.apps.clock_skew` — H-tree skew analysis and the
+  model-vs-exact fidelity comparison,
+* :mod:`~repro.apps.repeater_insertion` — optimal uniform repeaters
+  (the follow-on TVLSI result: inductance means fewer, smaller ones),
+* :mod:`~repro.apps.variation` — Monte-Carlo statistical timing plus the
+  one-gradient linearized sigma,
+* :mod:`~repro.apps.clock_tuning` — gradient-descent skew equalization
+  steered entirely by the analytic delay gradient.
+"""
+
+from .buffer_insertion import (
+    Buffer,
+    InsertionResult,
+    insert_buffers,
+    plan_stages,
+    simulated_plan_delay,
+    wire_segment_delay,
+)
+from .clock_skew import SkewReport, h_tree, perturbed_clock_tree, skew_report
+from .clock_tuning import TuningResult, apply_widths, model_skew, tune_clock_tree
+from .repeater_insertion import (
+    LineParameters,
+    RepeaterLibrary,
+    RepeaterPlan,
+    bakoglu_rc,
+    optimize_repeaters,
+    stage_delay,
+    total_path_delay,
+)
+from .variation import (
+    DelaySamples,
+    VariationModel,
+    VariationStudy,
+    linearized_sigma,
+    sample_delays,
+)
+from .wire_sizing import SizingResult, WireSizingProblem, optimize_width
+
+__all__ = [
+    "Buffer",
+    "InsertionResult",
+    "insert_buffers",
+    "wire_segment_delay",
+    "plan_stages",
+    "simulated_plan_delay",
+    "WireSizingProblem",
+    "SizingResult",
+    "optimize_width",
+    "h_tree",
+    "perturbed_clock_tree",
+    "skew_report",
+    "SkewReport",
+    "RepeaterLibrary",
+    "LineParameters",
+    "RepeaterPlan",
+    "bakoglu_rc",
+    "optimize_repeaters",
+    "stage_delay",
+    "total_path_delay",
+    "VariationModel",
+    "VariationStudy",
+    "DelaySamples",
+    "sample_delays",
+    "linearized_sigma",
+    "TuningResult",
+    "tune_clock_tree",
+    "apply_widths",
+    "model_skew",
+]

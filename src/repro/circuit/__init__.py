@@ -1,0 +1,51 @@
+"""Circuit substrate: RLC tree topology, element values, builders, netlists.
+
+This package owns the *description* of an interconnect tree. Analysis of
+trees lives in :mod:`repro.analysis` (the paper's closed forms) and
+:mod:`repro.simulation` (the exact solvers).
+"""
+
+from .builders import (
+    asymmetric_tree,
+    balanced_to_ladder,
+    balanced_tree,
+    distributed_line,
+    fig5_tree,
+    fig8_tree,
+    ladder,
+    random_tree,
+    scale_tree_to_zeta,
+    single_line,
+)
+from .elements import Section
+from .extraction import (
+    InductanceWindow,
+    WireGeometry,
+    extract_line,
+    inductance_window,
+)
+from .netlist import dump, dumps, load, loads
+from .tree import RLCTree
+
+__all__ = [
+    "Section",
+    "RLCTree",
+    "single_line",
+    "distributed_line",
+    "ladder",
+    "balanced_tree",
+    "asymmetric_tree",
+    "fig5_tree",
+    "fig8_tree",
+    "random_tree",
+    "balanced_to_ladder",
+    "scale_tree_to_zeta",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "WireGeometry",
+    "extract_line",
+    "InductanceWindow",
+    "inductance_window",
+]

@@ -1,0 +1,115 @@
+"""Element value objects for RLC tree sections.
+
+The paper models an interconnect tree as a set of *sections*: each section
+connects a node to its parent through a series resistance ``R`` and series
+inductance ``L``, and loads the node with a shunt capacitance ``C`` to
+ground (Fig. 3 / Fig. 5 of the paper). A section is therefore the single
+element type the whole library is built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ElementValueError
+from ..units import format_value, parse_value
+
+__all__ = ["Section"]
+
+
+@dataclass(frozen=True)
+class Section:
+    """One RLC section: series R and L from the parent node, shunt C.
+
+    Values are stored in SI units (ohm, henry, farad). The constructor
+    accepts floats or SPICE-style strings (``"25ohm"``, ``"10nH"``,
+    ``"0.5pF"``).
+
+    Invariants enforced at construction:
+
+    * all three values are finite and non-negative;
+    * ``R`` and ``L`` are not both zero (a zero-impedance branch would
+      merge two nodes, which is a topology edit, not an element value).
+
+    ``C = 0`` is legal for a pure branching point, though transient
+    simulation requires every node to carry some capacitance (see
+    :mod:`repro.simulation.state_space`).
+    """
+
+    resistance: float
+    inductance: float
+    capacitance: float
+
+    def __init__(
+        self,
+        resistance: float | str,
+        inductance: float | str = 0.0,
+        capacitance: float | str = 0.0,
+    ):
+        r = parse_value(resistance)
+        l = parse_value(inductance)
+        c = parse_value(capacitance)
+        for label, value in (("resistance", r), ("inductance", l), ("capacitance", c)):
+            if not math.isfinite(value):
+                raise ElementValueError(f"{label} must be finite, got {value!r}")
+            if value < 0.0:
+                raise ElementValueError(f"{label} must be non-negative, got {value!r}")
+        if r == 0.0 and l == 0.0:
+            raise ElementValueError(
+                "a section needs R > 0 or L > 0; a zero-impedance branch "
+                "short-circuits two nodes (merge the nodes instead)"
+            )
+        object.__setattr__(self, "resistance", r)
+        object.__setattr__(self, "inductance", l)
+        object.__setattr__(self, "capacitance", c)
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def is_rc(self) -> bool:
+        """True when the section has no inductance."""
+        return self.inductance == 0.0
+
+    @property
+    def damping_factor(self) -> float:
+        """zeta of this section driven alone: (R/2) * sqrt(C/L) (eq. 14).
+
+        Infinite for an RC section (L = 0); NaN when C = 0 and L = 0
+        cannot occur because C = 0 with L > 0 gives zeta = 0.
+        """
+        if self.inductance == 0.0:
+            return math.inf
+        return 0.5 * self.resistance * math.sqrt(self.capacitance / self.inductance)
+
+    @property
+    def natural_frequency(self) -> float:
+        """omega_n of this section driven alone: 1/sqrt(LC) (eq. 15).
+
+        Infinite when the LC product is zero.
+        """
+        lc = self.inductance * self.capacitance
+        if lc == 0.0:
+            return math.inf
+        return 1.0 / math.sqrt(lc)
+
+    def scaled(
+        self,
+        resistance_factor: float = 1.0,
+        inductance_factor: float = 1.0,
+        capacitance_factor: float = 1.0,
+    ) -> "Section":
+        """Return a new section with each value multiplied by its factor."""
+        return Section(
+            self.resistance * resistance_factor,
+            self.inductance * inductance_factor,
+            self.capacitance * capacitance_factor,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            "Section("
+            f"R={format_value(self.resistance, 'ohm')}, "
+            f"L={format_value(self.inductance, 'H')}, "
+            f"C={format_value(self.capacitance, 'F')})"
+        )

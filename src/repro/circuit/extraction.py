@@ -1,0 +1,199 @@
+"""Wire geometry to RLC extraction, plus the "does inductance matter" test.
+
+The paper assumes its trees arrive with R, L, C already extracted. This
+module closes that loop with first-order geometric extraction — the same
+class of closed-form formulas the era's extractors used — and implements
+the companion figures of merit from the authors' reference [8]
+(Y. I. Ismail, E. G. Friedman, J. L. Neves, "Figures of merit to
+characterize the importance of on-chip inductance", DAC 1998), which
+bound the wire-length window inside which inductance affects the
+response:
+
+    t_r / (2 sqrt(l c))  <  length  <  2/r * sqrt(l / c)
+
+The lower bound says the line is long enough that its time of flight is
+visible at the input rise time; the upper bound says it is short enough
+that resistive attenuation has not already overdamped it.
+
+Formulas used (SI units; per-unit-length quantities in lowercase):
+
+* resistance: ``r = rho / (width * thickness)``;
+* capacitance: Sakurai-Tamaru [10] microstrip fit
+  ``c = eps * (1.15 (w/h) + 2.80 (t/h)^0.222)``;
+* inductance: wide-microstrip partial inductance
+  ``l = (mu0 / 2 pi) * (ln(8 h / (w + t)) + (w + t) / (4 h))``,
+  floored at a small positive value for very wide lines.
+
+These are 10-20%-class approximations — entirely adequate here, since
+every figure of the paper sweeps regimes rather than chasing absolute
+element values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ElementValueError
+from ..units import parse_value
+from .builders import distributed_line
+from .tree import RLCTree
+
+__all__ = [
+    "WireGeometry",
+    "extract_line",
+    "InductanceWindow",
+    "inductance_window",
+]
+
+_MU0 = 4.0e-7 * math.pi
+_EPS0 = 8.8541878128e-12
+
+#: Copper at room temperature; late-90s processes used aluminum
+#: (2.65e-8), which callers can pass explicitly.
+_DEFAULT_RESISTIVITY = 1.68e-8
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Cross-section of one wire over a return plane.
+
+    All lengths in meters. ``height`` is dielectric thickness between
+    the wire's bottom and the return plane.
+    """
+
+    width: float
+    thickness: float
+    height: float
+    resistivity: float = _DEFAULT_RESISTIVITY
+    dielectric_constant: float = 3.9  # SiO2
+
+    def __post_init__(self):
+        for label in ("width", "thickness", "height"):
+            value = getattr(self, label)
+            if not (value > 0.0 and math.isfinite(value)):
+                raise ElementValueError(f"{label} must be positive, got {value!r}")
+        if self.resistivity <= 0.0:
+            raise ElementValueError("resistivity must be positive")
+        if self.dielectric_constant < 1.0:
+            raise ElementValueError("dielectric constant must be >= 1")
+
+    # -- per-unit-length values ------------------------------------------
+
+    @property
+    def resistance_per_meter(self) -> float:
+        """``rho / (w t)`` — uniform current (no skin effect)."""
+        return self.resistivity / (self.width * self.thickness)
+
+    @property
+    def capacitance_per_meter(self) -> float:
+        """Sakurai-Tamaru microstrip fit (area + fringe)."""
+        eps = _EPS0 * self.dielectric_constant
+        w_h = self.width / self.height
+        t_h = self.thickness / self.height
+        return eps * (1.15 * w_h + 2.80 * t_h ** 0.222)
+
+    @property
+    def inductance_per_meter(self) -> float:
+        """Wide-microstrip loop inductance over the return plane."""
+        ratio = 8.0 * self.height / (self.width + self.thickness)
+        if ratio <= 1.0:
+            # Very wide line: parallel-plate limit mu0 h / w.
+            return _MU0 * self.height / self.width
+        return (_MU0 / (2.0 * math.pi)) * (
+            math.log(ratio) + 1.0 / (4.0 * ratio / 8.0)
+        )
+
+    @property
+    def characteristic_impedance(self) -> float:
+        """``sqrt(l/c)`` of the lossless line."""
+        return math.sqrt(self.inductance_per_meter / self.capacitance_per_meter)
+
+    @property
+    def propagation_velocity(self) -> float:
+        """``1/sqrt(l c)`` in m/s."""
+        return 1.0 / math.sqrt(
+            self.inductance_per_meter * self.capacitance_per_meter
+        )
+
+
+def extract_line(
+    geometry: WireGeometry,
+    length: float | str,
+    num_sections: int = 20,
+    load_capacitance: float | str = 0.0,
+    root: str = "in",
+) -> RLCTree:
+    """Extract a wire of ``length`` into a lumped RLC line.
+
+    Twenty sections keep the lumping error of the metrics well below the
+    model's own error for the regimes in the paper.
+    """
+    length = parse_value(length)
+    if length <= 0.0:
+        raise ElementValueError(f"length must be positive, got {length!r}")
+    return distributed_line(
+        geometry.resistance_per_meter * length,
+        geometry.inductance_per_meter * length,
+        geometry.capacitance_per_meter * length,
+        num_sections=num_sections,
+        load_capacitance=load_capacitance,
+        root=root,
+    )
+
+
+@dataclass(frozen=True)
+class InductanceWindow:
+    """The [8] length window inside which inductance shapes the response.
+
+    ``lower`` is the time-of-flight bound (shorter lines: the input rise
+    time hides the inductive behaviour); ``upper`` the attenuation bound
+    (longer lines: resistance overdamps it). The window is empty —
+    inductance never matters — when ``lower >= upper``, which happens
+    for resistive enough wires or slow enough inputs.
+    """
+
+    lower: float
+    upper: float
+    length: float
+
+    @property
+    def exists(self) -> bool:
+        return self.lower < self.upper
+
+    @property
+    def matters(self) -> bool:
+        """True when the given length falls inside the window."""
+        return self.exists and self.lower < self.length < self.upper
+
+    @property
+    def regime(self) -> str:
+        if not self.exists:
+            return "rc"  # no length makes this wire inductive
+        if self.length <= self.lower:
+            return "capacitive"  # too short: input rise time dominates
+        if self.length >= self.upper:
+            return "rc"  # too long: attenuation dominates
+        return "rlc"
+
+
+def inductance_window(
+    geometry: WireGeometry,
+    length: float | str,
+    rise_time: float | str,
+) -> InductanceWindow:
+    """Evaluate the [8] figures of merit for a wire and input rise time.
+
+    ``rise_time`` is the driving signal's transition time at the wire
+    input; SPICE-style suffixed strings are accepted for both arguments.
+    """
+    length = parse_value(length)
+    rise_time = parse_value(rise_time)
+    if length <= 0.0 or rise_time <= 0.0:
+        raise ElementValueError("length and rise_time must be positive")
+    r = geometry.resistance_per_meter
+    l = geometry.inductance_per_meter
+    c = geometry.capacitance_per_meter
+    lower = rise_time / (2.0 * math.sqrt(l * c))
+    upper = (2.0 / r) * math.sqrt(l / c)
+    return InductanceWindow(lower=lower, upper=upper, length=length)

@@ -1,0 +1,72 @@
+"""Reference (naive) common-path sums.
+
+The quantities at the heart of the paper are, for each node ``i``::
+
+    T_RC(i) = sum_k C_k * R_ki      (the Elmore sum, paper eq. 7 / 26)
+    T_LC(i) = sum_k C_k * L_ki      (the inductive analogue, eq. 27)
+
+where ``k`` ranges over every capacitor in the tree and ``R_ki`` (``L_ki``)
+is the resistance (inductance) of the portion of the root-to-``k`` path
+shared with the root-to-``i`` path.
+
+This module computes them the *obvious* way — walk both paths, intersect,
+sum — which costs O(n) per (i, k) pair and O(n^2) for one node against all
+capacitors. The production implementation is the two-pass O(n) recursion
+in :mod:`repro.analysis.moments` (the paper's Appendix); this module is its
+oracle in the test suite and is also handy interactively on small trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .tree import RLCTree
+
+__all__ = [
+    "common_path_resistance",
+    "common_path_inductance",
+    "elmore_resistance_sum",
+    "elmore_inductance_sum",
+    "all_elmore_resistance_sums",
+    "all_elmore_inductance_sums",
+]
+
+
+def common_path_resistance(tree: RLCTree, first: str, second: str) -> float:
+    """``R_ki``: resistance shared by the root paths of two nodes (eq. 7)."""
+    return sum(
+        tree.section(name).resistance for name in tree.common_path(first, second)
+    )
+
+
+def common_path_inductance(tree: RLCTree, first: str, second: str) -> float:
+    """``L_ki``: inductance shared by the root paths of two nodes."""
+    return sum(
+        tree.section(name).inductance for name in tree.common_path(first, second)
+    )
+
+
+def elmore_resistance_sum(tree: RLCTree, node: str) -> float:
+    """``T_RC(node) = sum_k C_k R_k,node`` by direct path intersection."""
+    return sum(
+        tree.section(k).capacitance * common_path_resistance(tree, node, k)
+        for k in tree.nodes
+    )
+
+
+def elmore_inductance_sum(tree: RLCTree, node: str) -> float:
+    """``T_LC(node) = sum_k C_k L_k,node`` by direct path intersection."""
+    return sum(
+        tree.section(k).capacitance * common_path_inductance(tree, node, k)
+        for k in tree.nodes
+    )
+
+
+def all_elmore_resistance_sums(tree: RLCTree) -> Dict[str, float]:
+    """``T_RC`` at every node, the O(n^2) way."""
+    return {node: elmore_resistance_sum(tree, node) for node in tree.nodes}
+
+
+def all_elmore_inductance_sums(tree: RLCTree) -> Dict[str, float]:
+    """``T_LC`` at every node, the O(n^2) way."""
+    return {node: elmore_inductance_sum(tree, node) for node in tree.nodes}

@@ -1,0 +1,322 @@
+"""Command-line interface: netlist in, timing out.
+
+Gives the library the shape of a classic timing utility::
+
+    python -m repro analyze net.sp                    # per-node timing table
+    python -m repro analyze net.sp --node out --csv
+    python -m repro simulate net.sp --node out        # waveform CSV
+    python -m repro compare net.sp                    # model vs exact
+    python -m repro sensitivity net.sp --node out     # delay gradient
+    python -m repro fit --metric rise                 # re-run the Fig. 6 fit
+    python -m repro window --width 4u --thickness 1u --height 2u \\
+        --length 5m --rise-time 50p                   # does L matter?
+
+All commands read SPICE-subset netlists (see ``repro.circuit.netlist``)
+and print to stdout; ``main()`` returns a process exit code, so the test
+suite can drive it without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .analysis import TreeAnalyzer, delay_sensitivities, fit_delay, fit_rise
+from .circuit import WireGeometry, inductance_window
+from .circuit.netlist import loads
+from .errors import ReproError
+from .simulation import (
+    ExactSimulator,
+    ExponentialSource,
+    RampSource,
+    StepSource,
+)
+from .units import format_value, parse_value
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Equivalent Elmore delay analysis for RLC trees "
+        "(Ismail/Friedman/Neves, DAC 1999).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="closed-form timing at every node of a netlist"
+    )
+    analyze.add_argument("netlist", help="netlist file, or - for stdin")
+    analyze.add_argument(
+        "--node", action="append", default=None,
+        help="restrict to these nodes (repeatable; default: all)",
+    )
+    analyze.add_argument(
+        "--settle-band", type=float, default=0.1,
+        help="settling band as a fraction of final value (default 0.1)",
+    )
+    analyze.add_argument("--csv", action="store_true", help="CSV output")
+
+    simulate = commands.add_parser(
+        "simulate", help="exact waveform at a node (CSV to stdout)"
+    )
+    simulate.add_argument("netlist")
+    simulate.add_argument("--node", required=True)
+    simulate.add_argument(
+        "--input", choices=("step", "exp", "ramp"), default="step"
+    )
+    simulate.add_argument(
+        "--rise-time", default="100p",
+        help="input 0-90%% rise time for exp/ramp inputs (default 100p)",
+    )
+    simulate.add_argument("--amplitude", type=float, default=1.0)
+    simulate.add_argument("--points", type=int, default=1001)
+    simulate.add_argument(
+        "--t-end", default=None,
+        help="simulation horizon (default: auto from settling)",
+    )
+    simulate.add_argument(
+        "--model", action="store_true",
+        help="also emit the closed-form second-order waveform column",
+    )
+
+    sensitivity = commands.add_parser(
+        "sensitivity", help="analytic delay gradient at a node"
+    )
+    sensitivity.add_argument("netlist")
+    sensitivity.add_argument("--node", required=True)
+    sensitivity.add_argument(
+        "--metric", choices=("delay", "rise"), default="delay"
+    )
+    sensitivity.add_argument(
+        "--top", type=int, default=None,
+        help="print only the K most impactful sections",
+    )
+
+    compare = commands.add_parser(
+        "compare",
+        help="closed-form vs exact simulated timing at every node",
+    )
+    compare.add_argument("netlist")
+    compare.add_argument(
+        "--node", action="append", default=None,
+        help="restrict to these nodes (repeatable; default: all)",
+    )
+    compare.add_argument("--points", type=int, default=8001)
+    compare.add_argument("--csv", action="store_true")
+
+    fit = commands.add_parser(
+        "fit", help="re-run the paper's Fig. 6 curve fit from scratch"
+    )
+    fit.add_argument("--metric", choices=("delay", "rise"), default="delay")
+
+    window = commands.add_parser(
+        "window",
+        help="the [8] inductance-importance window for a wire geometry",
+    )
+    for flag, required, default in (
+        ("--width", True, None),
+        ("--thickness", True, None),
+        ("--height", True, None),
+        ("--length", True, None),
+        ("--rise-time", True, None),
+        ("--resistivity", False, "2.65e-8"),
+        ("--dielectric", False, "3.9"),
+    ):
+        window.add_argument(flag, required=required, default=default)
+
+    return parser
+
+
+def _read_tree(path: str):
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    return loads(text)
+
+
+def _cmd_analyze(args) -> int:
+    tree = _read_tree(args.netlist)
+    analyzer = TreeAnalyzer(tree, settle_band=args.settle_band)
+    nodes = args.node if args.node else list(tree.nodes)
+    rows = [analyzer.timing(node) for node in nodes]
+    if args.csv:
+        print("node,zeta,omega_n,delay_50,rise_time,overshoot,settling,"
+              "elmore_delay")
+        for t in rows:
+            print(
+                f"{t.node},{t.zeta:.6g},{t.omega_n:.6g},{t.delay_50:.6g},"
+                f"{t.rise_time:.6g},{t.overshoot:.6g},{t.settling:.6g},"
+                f"{t.elmore_delay:.6g}"
+            )
+    else:
+        print(f"{'node':>10} {'zeta':>8} {'50% delay':>12} {'rise':>12} "
+              f"{'overshoot':>10} {'settling':>12} {'elmore':>12}")
+        for t in rows:
+            print(
+                f"{t.node:>10} {t.zeta:>8.3f} "
+                f"{format_value(t.delay_50, 's'):>12} "
+                f"{format_value(t.rise_time, 's'):>12} "
+                f"{t.overshoot:>9.1%} "
+                f"{format_value(t.settling, 's'):>12} "
+                f"{format_value(t.elmore_delay, 's'):>12}"
+            )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    tree = _read_tree(args.netlist)
+    simulator = ExactSimulator(tree)
+    if args.input == "step":
+        source = StepSource(amplitude=args.amplitude)
+    elif args.input == "exp":
+        source = ExponentialSource.from_rise_time(
+            parse_value(args.rise_time), amplitude=args.amplitude
+        )
+    else:
+        source = RampSource(
+            amplitude=args.amplitude, rise_time=parse_value(args.rise_time)
+        )
+    t_end = parse_value(args.t_end) if args.t_end else None
+    t = simulator.time_grid(points=args.points, t_end=t_end)
+    exact = simulator.response(source, args.node, t)
+    columns = [t, exact]
+    header = "time,v_exact"
+    if args.model:
+        analyzer = TreeAnalyzer(tree)
+        model = analyzer.model(args.node)
+        if model is None:
+            raise ReproError(
+                f"node {args.node!r} is RC-limit; no second-order waveform"
+            )
+        from .analysis.response import model_response
+
+        columns.append(model_response(model, source, t))
+        header += ",v_model"
+    print(header)
+    for values in np.column_stack(columns):
+        print(",".join(f"{v:.8g}" for v in values))
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    tree = _read_tree(args.netlist)
+    report = delay_sensitivities(tree, args.node, metric=args.metric)
+    print(f"{args.metric} at {args.node}: {format_value(report.value, 's')}")
+    order = report.steepest_sections(args.top or len(report.sensitivities))
+    print(f"{'section':>10} {'d/dR (s/ohm)':>14} {'d/dL (s/H)':>14} "
+          f"{'d/dC (s/F)':>14} {'rel impact':>12}")
+    for name in order:
+        s = report.sensitivities[name]
+        print(
+            f"{name:>10} {s.d_resistance:>14.4e} {s.d_inductance:>14.4e} "
+            f"{s.d_capacitance:>14.4e} "
+            f"{format_value(s.relative_impact, 's'):>12}"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .simulation.measures import delay_50 as measured_delay_50
+    from .simulation.measures import rise_time_10_90
+
+    tree = _read_tree(args.netlist)
+    analyzer = TreeAnalyzer(tree)
+    simulator = ExactSimulator(tree)
+    nodes = args.node if args.node else list(tree.nodes)
+    t = simulator.time_grid(points=args.points, span_factor=14.0)
+    waveforms = simulator.step_response(nodes, t)
+    if len(nodes) == 1:
+        waveforms = waveforms.reshape(1, -1)
+    if args.csv:
+        print("node,model_delay,exact_delay,delay_err_pct,"
+              "model_rise,exact_rise,rise_err_pct")
+    else:
+        print(f"{'node':>10} {'model delay':>12} {'exact delay':>12} "
+              f"{'err':>7} {'model rise':>12} {'exact rise':>12} {'err':>7}")
+    for row, node in enumerate(nodes):
+        exact_delay = measured_delay_50(t, waveforms[row])
+        exact_rise = rise_time_10_90(t, waveforms[row])
+        model_delay = analyzer.delay_50(node)
+        model_rise = analyzer.rise_time(node)
+        delay_err = 100.0 * abs(model_delay - exact_delay) / exact_delay
+        rise_err = 100.0 * abs(model_rise - exact_rise) / exact_rise
+        if args.csv:
+            print(f"{node},{model_delay:.6g},{exact_delay:.6g},"
+                  f"{delay_err:.3f},{model_rise:.6g},{exact_rise:.6g},"
+                  f"{rise_err:.3f}")
+        else:
+            print(
+                f"{node:>10} {format_value(model_delay, 's'):>12} "
+                f"{format_value(exact_delay, 's'):>12} "
+                f"{delay_err:>6.1f}% "
+                f"{format_value(model_rise, 's'):>12} "
+                f"{format_value(exact_rise, 's'):>12} "
+                f"{rise_err:>6.1f}%"
+            )
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    result = fit_delay() if args.metric == "delay" else fit_rise()
+    print(f"metric: {args.metric}")
+    print(f"form:   {result.form}")
+    print("coefficients: "
+          + ", ".join(f"{c:.6g}" for c in result.coefficients))
+    print(f"max relative error over zeta grid: "
+          f"{result.max_relative_error:.2%}")
+    return 0
+
+
+def _cmd_window(args) -> int:
+    geometry = WireGeometry(
+        width=parse_value(args.width),
+        thickness=parse_value(args.thickness),
+        height=parse_value(args.height),
+        resistivity=parse_value(args.resistivity),
+        dielectric_constant=parse_value(args.dielectric),
+    )
+    window = inductance_window(geometry, args.length, args.rise_time)
+    print(f"r = {format_value(geometry.resistance_per_meter * 1e-3, 'ohm')}/mm, "
+          f"l = {format_value(geometry.inductance_per_meter * 1e-3, 'H')}/mm, "
+          f"c = {format_value(geometry.capacitance_per_meter * 1e-3, 'F')}/mm")
+    if window.exists:
+        print(f"inductance matters for lengths in "
+              f"({format_value(window.lower, 'm')}, "
+              f"{format_value(window.upper, 'm')})")
+    else:
+        print("inductance window is empty: this wire is RC at any length")
+    print(f"at {format_value(window.length, 'm')}: regime = {window.regime}")
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "compare": _cmd_compare,
+    "simulate": _cmd_simulate,
+    "sensitivity": _cmd_sensitivity,
+    "fit": _cmd_fit,
+    "window": _cmd_window,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class. The
+subclasses draw the lines a user of an interconnect-analysis library
+actually cares about: malformed circuit topology, invalid element values,
+netlist parse problems, simulation setup issues, and numerical failures in
+model-order reduction.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CircuitError",
+    "TopologyError",
+    "ElementValueError",
+    "NetlistError",
+    "SimulationError",
+    "ReductionError",
+    "FittingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Base class for problems with a circuit description."""
+
+
+class TopologyError(CircuitError):
+    """The tree structure itself is invalid.
+
+    Examples: duplicate node names, a child referencing an unknown parent,
+    a cycle introduced through the builder API, or querying a node that
+    does not exist.
+    """
+
+
+class ElementValueError(CircuitError, ValueError):
+    """An element value is out of range (negative R/L/C, NaN, ...)."""
+
+
+class NetlistError(CircuitError):
+    """A netlist could not be parsed or does not describe an RLC tree."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class SimulationError(ReproError):
+    """A simulation could not be set up or run.
+
+    Raised, for instance, when a transient analysis is requested on a tree
+    containing a zero-capacitance node (which would make the state-space
+    formulation a DAE), or when a requested node is not part of the tree.
+    """
+
+
+class ReductionError(ReproError):
+    """Model-order reduction failed (singular moment matrix, no stable
+    poles survived filtering, requested order exceeds what the moments
+    support, ...)."""
+
+
+class FittingError(ReproError):
+    """Curve fitting of the delay/rise-time expressions failed."""

@@ -1,0 +1,30 @@
+"""Model-order-reduction baselines (paper Section II).
+
+The comparators the paper measures its closed forms against:
+
+* :mod:`~repro.reduction.pade` — Pade-from-moments machinery and the
+  :class:`PoleResidueModel` reduced-model container,
+* :mod:`~repro.reduction.awe` — Asymptotic Waveform Evaluation (RICE
+  flow): exact moments -> q-pole model -> measured metrics,
+* :mod:`~repro.reduction.kahng_muddu` — the two-pole, three-case RLC
+  delay model of the paper's reference [30],
+* :mod:`~repro.reduction.krylov` — Arnoldi projection (the numerically
+  robust PRIMA-family alternative to explicit moment matching).
+"""
+
+from .awe import awe_delay_50, awe_model, awe_step_metrics
+from .kahng_muddu import KahngMudduModel, kahng_muddu_model
+from .krylov import ArnoldiReduction, arnoldi_model
+from .pade import PoleResidueModel, pade_poles_residues
+
+__all__ = [
+    "PoleResidueModel",
+    "pade_poles_residues",
+    "awe_model",
+    "awe_step_metrics",
+    "awe_delay_50",
+    "KahngMudduModel",
+    "kahng_muddu_model",
+    "ArnoldiReduction",
+    "arnoldi_model",
+]

@@ -1,0 +1,116 @@
+"""Krylov-subspace (Arnoldi) model-order reduction.
+
+The numerically robust successor to explicit moment matching that the
+paper's Section II surveys (Arnoldi, block Arnoldi, PRIMA, PVL): instead
+of forming the ill-conditioned moment Hankel matrix, build an orthonormal
+basis ``V`` of the Krylov space ``K_q(A^{-1}, A^{-1} b)`` and project::
+
+    A_r = V^T A V,   b_r = V^T b,   c_r = V^T c
+
+The reduced model matches the first ``q`` moments implicitly (through
+the subspace, not through explicit moment arithmetic), so it stays
+usable at orders where the explicit Pade solve in
+:mod:`repro.reduction.pade` has long lost all precision. Like AWE it is
+*not* guaranteed stable for our nonsymmetric A — PRIMA's passivity proof
+needs the symmetric MNA form — and the baseline benchmark records how
+often stability actually holds in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..circuit.tree import RLCTree
+from ..errors import ReductionError
+from ..simulation.state_space import build_state_space
+from .pade import PoleResidueModel
+
+__all__ = ["arnoldi_model", "ArnoldiReduction"]
+
+
+@dataclass(frozen=True)
+class ArnoldiReduction:
+    """The projected reduced system plus its pole/residue form."""
+
+    a_reduced: np.ndarray
+    b_reduced: np.ndarray
+    c_reduced: np.ndarray
+    model: PoleResidueModel
+
+    @property
+    def order(self) -> int:
+        return self.a_reduced.shape[0]
+
+
+def arnoldi_model(
+    tree: RLCTree,
+    node: str,
+    order: int,
+) -> ArnoldiReduction:
+    """Reduce ``node``'s transfer function to ``order`` poles via Arnoldi.
+
+    Raises :class:`ReductionError` when the Krylov space collapses before
+    reaching ``order`` (the exact system has fewer independent moments —
+    lower the order) or when the reduced system is defective.
+    """
+    if order < 1:
+        raise ReductionError("order must be at least 1")
+    space = build_state_space(tree)
+    if node not in space.node_index:
+        raise ReductionError(f"unknown node {node!r}")
+    n = space.order
+    if order > n:
+        raise ReductionError(
+            f"requested order {order} exceeds system order {n}"
+        )
+
+    # Moments about s = 0 live in the Krylov space of A^{-1}.
+    a_inverse = np.linalg.inv(space.a)  # A is small and dense; inverse is fine
+    start = a_inverse @ space.b
+    norm = np.linalg.norm(start)
+    if norm == 0.0:
+        raise ReductionError("input vector is zero; nothing to reduce")
+
+    basis = np.empty((n, order))
+    basis[:, 0] = start / norm
+    for j in range(1, order):
+        candidate = a_inverse @ basis[:, j - 1]
+        pre_norm = np.linalg.norm(candidate)
+        # Modified Gram-Schmidt with one re-orthogonalization pass.
+        for _ in range(2):
+            for i in range(j):
+                candidate -= (basis[:, i] @ candidate) * basis[:, i]
+        candidate_norm = np.linalg.norm(candidate)
+        # Collapse is judged against the vector's own pre-orthogonalization
+        # size: A^-1 scales every vector by ~1/|lambda|, so comparing with
+        # the initial norm would misread plain scaling as collapse.
+        if candidate_norm < 1e-10 * pre_norm:
+            raise ReductionError(
+                f"Krylov space collapsed at dimension {j}; the node has "
+                f"fewer than {order} effective poles — lower the order"
+            )
+        basis[:, j] = candidate / candidate_norm
+
+    a_reduced = basis.T @ space.a @ basis
+    b_reduced = basis.T @ space.b
+    c_reduced = basis.T @ space.output_row(node)
+
+    eigenvalues, vectors = np.linalg.eig(a_reduced)
+    condition = np.linalg.cond(vectors)
+    if not np.isfinite(condition) or condition > 1e13:
+        raise ReductionError("reduced system is numerically defective")
+    beta = np.linalg.solve(vectors, b_reduced.astype(complex))
+    gamma = c_reduced.astype(complex) @ vectors
+    residues = gamma * beta
+
+    model = PoleResidueModel(
+        poles=tuple(complex(p) for p in eigenvalues),
+        residues=tuple(complex(r) for r in residues),
+    )
+    return ArnoldiReduction(
+        a_reduced=a_reduced,
+        b_reduced=b_reduced,
+        c_reduced=c_reduced,
+        model=model,
+    )

@@ -1,0 +1,222 @@
+"""Pade approximation from moments: the core of AWE.
+
+Given the moment expansion ``H(s) = m_0 + m_1 s + m_2 s^2 + ...`` of a
+transfer function, a ``[q-1 / q]`` Pade approximant matches the first
+``2q`` moments with a q-pole rational function. Writing
+``H ~ N(s)/D(s)`` with ``D(s) = 1 + d_1 s + ... + d_q s^q`` and
+``deg N = q - 1``, the conditions ``(H D - N)`` being ``O(s^{2q})`` give
+the classic AWE linear (Hankel) system for the denominator::
+
+    m_j + sum_{l=1..q} d_l m_{j-l} = 0      for j = q .. 2q-1
+
+The poles are the roots of ``D``; the residues follow from a Vandermonde
+solve against the low-order moments. Moment matrices are notoriously
+ill-conditioned, so all solves happen in time-normalized units
+(moments scaled by ``|m_1|^j``), which keeps q up to ~8 usable in double
+precision — comfortably beyond what interconnect analysis needs.
+
+This is the "arbitrary accuracy at the price of stability and numerical
+issues" baseline the paper positions its always-stable second-order model
+against: the Pade table happily produces right-half-plane poles, which
+:func:`pade_poles_residues` flags and (optionally) discards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReductionError
+
+__all__ = ["PoleResidueModel", "pade_poles_residues"]
+
+
+@dataclass(frozen=True)
+class PoleResidueModel:
+    """A reduced-order model ``H(s) = sum_i  r_i / (s - p_i)``.
+
+    The standard output form of AWE-family reductions. All response
+    helpers return real arrays (poles/residues occur in conjugate pairs
+    for real systems; tiny imaginary residue from rounding is dropped).
+    """
+
+    poles: Tuple[complex, ...]
+    residues: Tuple[complex, ...]
+
+    def __post_init__(self):
+        if len(self.poles) != len(self.residues):
+            raise ReductionError("poles and residues must pair up")
+        if not self.poles:
+            raise ReductionError("model needs at least one pole")
+
+    @property
+    def order(self) -> int:
+        return len(self.poles)
+
+    def is_stable(self) -> bool:
+        """True when every pole is strictly in the left half plane."""
+        return all(p.real < 0.0 for p in self.poles)
+
+    def dc_gain(self) -> float:
+        """H(0) = sum -r_i / p_i; ~1 for a source-driven tree node."""
+        return float(np.real(sum(-r / p for p, r in zip(self.poles, self.residues))))
+
+    def transfer_function(self, s) -> np.ndarray:
+        s = np.atleast_1d(np.asarray(s, dtype=complex))
+        p = np.asarray(self.poles)
+        r = np.asarray(self.residues)
+        h = (r[None, :] / (s[:, None] - p[None, :])).sum(axis=1)
+        return h if h.size > 1 else h.reshape(())
+
+    def moments(self, order: int) -> np.ndarray:
+        """Taylor coefficients m_0..m_order implied by the model."""
+        p = np.asarray(self.poles)
+        r = np.asarray(self.residues)
+        out = [
+            float(np.real((-r / p ** (j + 1)).sum())) for j in range(order + 1)
+        ]
+        return np.asarray(out)
+
+    def step_response(self, t: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+        """Response to a step of ``amplitude`` (zero initial state)."""
+        t = np.asarray(t, dtype=float)
+        tt = np.maximum(t, 0.0)
+        p = np.asarray(self.poles)
+        r = np.asarray(self.residues)
+        with np.errstate(over="raise"):
+            try:
+                modal = (np.exp(np.outer(p, tt)) - 1.0) / p[:, None]
+            except FloatingPointError:
+                raise ReductionError(
+                    "unstable reduced model: step response overflows "
+                    "(a right-half-plane pole); filter with stable_only"
+                ) from None
+        out = amplitude * np.real(r @ modal)
+        return np.where(t >= 0.0, out, 0.0)
+
+    def impulse_response(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        tt = np.maximum(t, 0.0)
+        p = np.asarray(self.poles)
+        r = np.asarray(self.residues)
+        out = np.real(r @ np.exp(np.outer(p, tt)))
+        return np.where(t >= 0.0, out, 0.0)
+
+    def dominant_time_constant(self) -> float:
+        """1 / |Re p| of the slowest stable pole (for time-grid sizing)."""
+        stable = [p for p in self.poles if p.real < 0.0]
+        if not stable:
+            raise ReductionError("model has no stable poles")
+        return max(1.0 / abs(p.real) for p in stable)
+
+
+def pade_poles_residues(
+    moments: Sequence[float],
+    order: int,
+    stable_only: bool = False,
+) -> PoleResidueModel:
+    """Compute the ``[order-1 / order]`` Pade model from moments.
+
+    Parameters
+    ----------
+    moments:
+        ``m_0 .. m_{2*order - 1}`` at least (extra entries ignored);
+        ``m_0`` must be 1 (normalized transfer function).
+    order:
+        Number of poles q.
+    stable_only:
+        Drop right-half-plane poles instead of returning them. Residues
+        are then re-solved against the low-order moments so the surviving
+        model still matches ``m_0 .. m_{q'-1}``. Raises if nothing stable
+        survives.
+
+    Raises
+    ------
+    ReductionError
+        For insufficient moments, a singular Hankel system (the exact
+        function has fewer than ``order`` poles — lower the order), or no
+        surviving stable poles with ``stable_only``.
+    """
+    m = np.asarray(moments, dtype=float)
+    if order < 1:
+        raise ReductionError("order must be at least 1")
+    if m.size < 2 * order:
+        raise ReductionError(
+            f"need {2 * order} moments for a {order}-pole model, got {m.size}"
+        )
+    if abs(m[0] - 1.0) > 1e-9:
+        raise ReductionError("moments must be normalized (m_0 = 1)")
+    if m[1] >= 0.0:
+        raise ReductionError("m_1 must be negative for a causal low-pass")
+
+    # Time normalization: work in units of |m_1| to tame conditioning.
+    scale = abs(m[1])
+    normalized = m[: 2 * order] / scale ** np.arange(2 * order)
+
+    q = order
+    hankel = np.empty((q, q))
+    rhs = np.empty(q)
+    for row in range(q):
+        j = q + row
+        for col in range(1, q + 1):
+            hankel[row, col - 1] = normalized[j - col]
+        rhs[row] = -normalized[j]
+    condition = np.linalg.cond(hankel)
+    if not np.isfinite(condition) or condition > 1e13:
+        raise ReductionError(
+            "singular moment matrix (condition "
+            f"{condition:.2e}): the response has fewer than {order} "
+            "effective poles, or the order exceeds double-precision "
+            "moment matching; lower the order"
+        )
+    try:
+        d = np.linalg.solve(hankel, rhs)
+    except np.linalg.LinAlgError:
+        raise ReductionError(
+            "singular moment matrix: the response has fewer than "
+            f"{order} effective poles; lower the order"
+        ) from None
+
+    # D(s') = 1 + d_1 s' + ... + d_q s'^q ; np.roots wants high->low.
+    coeffs = np.concatenate([d[::-1], [1.0]])
+    if abs(coeffs[0]) < 1e-300:
+        raise ReductionError("degenerate denominator; lower the order")
+    scaled_poles = np.roots(coeffs)
+    poles = scaled_poles / scale
+
+    if stable_only:
+        keep = scaled_poles.real < 0.0
+        if not keep.any():
+            raise ReductionError(
+                "no stable poles survived filtering; the Pade model of this "
+                "order is entirely non-physical"
+            )
+        scaled_poles = scaled_poles[keep]
+        poles = poles[keep]
+
+    # Residues are solved in normalized time; with s = s'/scale and
+    # p = p'/scale, H(s) = sum r'/(s' - p') = sum (r'/scale)/(s - p).
+    residues = _solve_residues(scaled_poles, normalized) / scale
+
+    return PoleResidueModel(
+        poles=tuple(complex(p) for p in poles),
+        residues=tuple(complex(r) for r in residues),
+    )
+
+
+def _solve_residues(poles: np.ndarray, normalized_moments: np.ndarray) -> np.ndarray:
+    """Match residues to the low-order moments (Vandermonde in 1/p)."""
+    q = poles.size
+    vandermonde = np.empty((q, q), dtype=complex)
+    for j in range(q):
+        vandermonde[j, :] = poles ** (-(j + 1))
+    rhs = -normalized_moments[:q].astype(complex)
+    try:
+        return np.linalg.solve(vandermonde, rhs)
+    except np.linalg.LinAlgError:
+        raise ReductionError(
+            "repeated Pade poles: residue system singular; "
+            "perturb the circuit or change the order"
+        ) from None

@@ -1,0 +1,86 @@
+"""Exact simulation of RLC trees — the reproduction's AS/X substitute.
+
+Two independent engines share one state-space formulation:
+
+* :class:`~repro.simulation.exact.ExactSimulator` — analytic modal
+  solution (eigendecomposition); machine-precision responses for step,
+  exponential, ramp and PWL inputs; exact poles and transfer functions.
+* :class:`~repro.simulation.transient.TrapezoidalSimulator` — SPICE-style
+  fixed-step trapezoidal integration for arbitrary waveforms.
+
+:mod:`repro.simulation.measures` turns sampled waveforms into the paper's
+figures of merit (50% delay, rise time, overshoots, settling time).
+
+Beyond the paper's scope (but built on the same machinery):
+
+* :class:`~repro.simulation.coupled.CoupledLines` — two coupled RLC
+  lines (coupling C + mutual L) for crosstalk and Miller-window studies,
+* :class:`~repro.simulation.transmission_line.TransmissionLine` — the
+  exact distributed (telegraph-equation) reference, with fixed-Talbot
+  numerical Laplace inversion for time-domain responses.
+"""
+
+from .ac import FrequencySweep, bandwidth_3db, resonant_peak_db, sweep
+from .coupled import (
+    CoupledLines,
+    CrosstalkNoise,
+    crosstalk_noise,
+    switching_delay,
+)
+from .exact import ExactSimulator
+from .measures import (
+    WaveformMetrics,
+    delay_50,
+    find_extrema,
+    max_error,
+    measure,
+    overshoots,
+    rise_time_10_90,
+    rms_error,
+    settling_time,
+    threshold_crossing,
+)
+from .sources import (
+    ExponentialSource,
+    PWLSource,
+    RampSource,
+    Source,
+    StepSource,
+)
+from .state_space import StateSpace, build_state_space, ensure_positive_capacitance
+from .transient import TrapezoidalSimulator, simulate_transient
+from .transmission_line import TransmissionLine, talbot_inverse_laplace
+
+__all__ = [
+    "ExactSimulator",
+    "TrapezoidalSimulator",
+    "simulate_transient",
+    "StateSpace",
+    "build_state_space",
+    "ensure_positive_capacitance",
+    "Source",
+    "StepSource",
+    "RampSource",
+    "ExponentialSource",
+    "PWLSource",
+    "WaveformMetrics",
+    "measure",
+    "threshold_crossing",
+    "delay_50",
+    "rise_time_10_90",
+    "find_extrema",
+    "overshoots",
+    "settling_time",
+    "rms_error",
+    "max_error",
+    "FrequencySweep",
+    "sweep",
+    "bandwidth_3db",
+    "resonant_peak_db",
+    "CoupledLines",
+    "CrosstalkNoise",
+    "crosstalk_noise",
+    "switching_delay",
+    "TransmissionLine",
+    "talbot_inverse_laplace",
+]

@@ -1,0 +1,100 @@
+"""Frequency-domain analysis helpers.
+
+Thin conveniences over :class:`~repro.simulation.exact.ExactSimulator`'s
+exact transfer function: log-spaced sweeps, magnitude in dB, -3 dB
+bandwidth and resonant peaking. The paper reasons in the time domain, but
+the damping-factor story is easiest to *see* in frequency response — an
+underdamped node shows a resonant peak exactly where the step response
+rings — so the examples use these helpers for intuition plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..circuit.tree import RLCTree
+from ..errors import SimulationError
+from .exact import ExactSimulator
+
+__all__ = ["FrequencySweep", "sweep", "bandwidth_3db", "resonant_peak_db"]
+
+
+@dataclass(frozen=True)
+class FrequencySweep:
+    """Result of one AC sweep at a node."""
+
+    node: str
+    frequency: np.ndarray  # hertz
+    response: np.ndarray  # complex H(j 2 pi f)
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.response)
+
+    @property
+    def magnitude_db(self) -> np.ndarray:
+        return 20.0 * np.log10(np.maximum(self.magnitude, 1e-300))
+
+    @property
+    def phase_degrees(self) -> np.ndarray:
+        return np.unwrap(np.angle(self.response)) * 180.0 / math.pi
+
+
+def sweep(
+    tree_or_simulator: "RLCTree | ExactSimulator",
+    node: str,
+    f_start: Optional[float] = None,
+    f_stop: Optional[float] = None,
+    points: int = 400,
+) -> FrequencySweep:
+    """Log-spaced AC sweep at ``node``.
+
+    Default limits bracket the system's pole frequencies by a decade on
+    each side, so the full roll-off (and any resonant peak) is visible.
+    """
+    simulator = (
+        tree_or_simulator
+        if isinstance(tree_or_simulator, ExactSimulator)
+        else ExactSimulator(tree_or_simulator)
+    )
+    poles = simulator.poles()
+    pole_freqs = np.abs(poles) / (2.0 * math.pi)
+    if f_start is None:
+        f_start = float(np.min(pole_freqs)) / 10.0
+    if f_stop is None:
+        f_stop = float(np.max(pole_freqs)) * 10.0
+    if f_start <= 0.0 or f_stop <= f_start:
+        raise SimulationError("need 0 < f_start < f_stop")
+    frequency = np.logspace(math.log10(f_start), math.log10(f_stop), points)
+    response = simulator.frequency_response(node, frequency)
+    return FrequencySweep(node=node, frequency=frequency, response=response)
+
+
+def bandwidth_3db(result: FrequencySweep) -> Optional[float]:
+    """First frequency where |H| drops 3 dB below its DC value.
+
+    Returns ``None`` when the sweep never crosses (widen the sweep).
+    """
+    target = result.magnitude_db[0] - 3.0
+    below = result.magnitude_db <= target
+    indices = np.nonzero(below)[0]
+    if indices.size == 0:
+        return None
+    i = int(indices[0])
+    if i == 0:
+        return float(result.frequency[0])
+    # Log-linear interpolation between the bracketing samples.
+    f0, f1 = result.frequency[i - 1], result.frequency[i]
+    m0, m1 = result.magnitude_db[i - 1], result.magnitude_db[i]
+    frac = (target - m0) / (m1 - m0)
+    return float(f0 * (f1 / f0) ** frac)
+
+
+def resonant_peak_db(result: FrequencySweep) -> float:
+    """Peak magnitude above DC in dB; 0 for a monotone (overdamped) node."""
+    peak = float(np.max(result.magnitude_db) - result.magnitude_db[0])
+    return max(peak, 0.0)

@@ -1,0 +1,268 @@
+"""Waveform metrology.
+
+Every figure of merit the paper reports — 50% propagation delay, 10-90%
+rise time, overshoot magnitudes/times, settling time — must be measured
+from *simulated* waveforms to have something to compare the closed forms
+against. This module extracts those measures from sampled ``(t, v)``
+arrays with linear interpolation between samples, mirroring how a
+designer reads them off a SPICE/AS/X plot.
+
+Conventions (matching the paper):
+
+* the 50% delay is the *first* crossing of half the final value,
+* the rise time is the first 10% crossing to the first 90% crossing,
+* overshoot n = 1, 3, ... are maxima above the final value, n = 2, 4, ...
+  minima below it (Fig. 7),
+* the settling time is when oscillation around the final value last
+  exceeds ``x`` (default 0.1, i.e. 10%) of the final value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = [
+    "threshold_crossing",
+    "delay_50",
+    "rise_time_10_90",
+    "find_extrema",
+    "overshoots",
+    "settling_time",
+    "WaveformMetrics",
+    "measure",
+    "rms_error",
+    "max_error",
+]
+
+
+def _validate(t: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(t, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if t.ndim != 1 or v.shape != t.shape:
+        raise SimulationError("t and v must be 1-D arrays of equal length")
+    if t.size < 2:
+        raise SimulationError("waveform needs at least two samples")
+    return t, v
+
+
+def threshold_crossing(
+    t: np.ndarray,
+    v: np.ndarray,
+    threshold: float,
+    rising: bool = True,
+) -> Optional[float]:
+    """First time ``v`` crosses ``threshold`` (linear interpolation).
+
+    Returns ``None`` if the waveform never crosses.
+    """
+    t, v = _validate(t, v)
+    if rising:
+        above = v >= threshold
+    else:
+        above = v <= threshold
+    if above[0]:
+        return float(t[0])
+    indices = np.nonzero(above[1:] & ~above[:-1])[0]
+    if indices.size == 0:
+        return None
+    i = int(indices[0])
+    v0, v1 = v[i], v[i + 1]
+    if v1 == v0:
+        return float(t[i + 1])
+    frac = (threshold - v0) / (v1 - v0)
+    return float(t[i] + frac * (t[i + 1] - t[i]))
+
+
+def delay_50(
+    t: np.ndarray, v: np.ndarray, final_value: float = 1.0
+) -> float:
+    """50% propagation delay: first crossing of ``final_value / 2``."""
+    crossing = threshold_crossing(t, v, 0.5 * final_value)
+    if crossing is None:
+        raise SimulationError(
+            "waveform never reaches 50% of its final value; "
+            "extend the time grid"
+        )
+    return crossing
+
+
+def rise_time_10_90(
+    t: np.ndarray, v: np.ndarray, final_value: float = 1.0
+) -> float:
+    """10%-to-90% rise time (the paper's rise-time definition)."""
+    t10 = threshold_crossing(t, v, 0.1 * final_value)
+    t90 = threshold_crossing(t, v, 0.9 * final_value)
+    if t10 is None or t90 is None:
+        raise SimulationError(
+            "waveform never spans 10%..90% of its final value; "
+            "extend the time grid"
+        )
+    return t90 - t10
+
+
+def find_extrema(
+    t: np.ndarray, v: np.ndarray
+) -> List[Tuple[float, float, str]]:
+    """Interior local extrema as ``(time, value, 'max'|'min')``.
+
+    Uses sign changes of the discrete derivative with parabolic
+    refinement of the extremum location, so the returned peak values are
+    sub-sample accurate for smooth waveforms.
+    """
+    t, v = _validate(t, v)
+    dv = np.diff(v)
+    out: List[Tuple[float, float, str]] = []
+    for i in range(1, dv.size):
+        if dv[i - 1] == 0.0:
+            continue
+        if dv[i - 1] > 0.0 and dv[i] <= 0.0:
+            kind = "max"
+        elif dv[i - 1] < 0.0 and dv[i] >= 0.0:
+            kind = "min"
+        else:
+            continue
+        time, value = _refine_extremum(t, v, i)
+        out.append((time, value, kind))
+    return out
+
+
+def _refine_extremum(
+    t: np.ndarray, v: np.ndarray, i: int
+) -> Tuple[float, float]:
+    """Parabolic fit through samples i-1, i, i+1 around an extremum."""
+    if i == 0 or i >= t.size - 1:
+        return float(t[i]), float(v[i])
+    y0, y1, y2 = v[i - 1], v[i], v[i + 1]
+    denom = y0 - 2.0 * y1 + y2
+    if denom == 0.0:
+        return float(t[i]), float(v[i])
+    offset = 0.5 * (y0 - y2) / denom
+    offset = float(np.clip(offset, -1.0, 1.0))
+    h = t[i + 1] - t[i]
+    value = y1 - 0.25 * (y0 - y2) * offset
+    return float(t[i] + offset * h), float(value)
+
+
+def overshoots(
+    t: np.ndarray,
+    v: np.ndarray,
+    final_value: float = 1.0,
+    minimum_size: float = 1e-4,
+) -> List[Tuple[float, float]]:
+    """Alternating over/undershoot peaks of a ringing response.
+
+    Returns ``(time, value)`` pairs: entry 0 is the first overshoot (a
+    maximum above the final value), entry 1 the first undershoot, and so
+    on — the paper's ``t_1, t_2, ...`` of Fig. 7. Peaks smaller than
+    ``minimum_size * final_value`` away from the final value are ignored
+    (they are numerically indistinguishable from settled behaviour).
+    """
+    extrema = find_extrema(t, v)
+    threshold = abs(final_value) * minimum_size
+    peaks: List[Tuple[float, float]] = []
+    expect = "max"
+    for time, value, kind in extrema:
+        if abs(value - final_value) < threshold:
+            continue
+        if kind != expect:
+            continue
+        if kind == "max" and value <= final_value:
+            continue
+        if kind == "min" and value >= final_value:
+            continue
+        peaks.append((time, value))
+        expect = "min" if expect == "max" else "max"
+    return peaks
+
+
+def settling_time(
+    t: np.ndarray,
+    v: np.ndarray,
+    final_value: float = 1.0,
+    band: float = 0.1,
+) -> float:
+    """Last time the waveform leaves the ``±band * final_value`` envelope.
+
+    Matches the paper's definition: the response is settled once the
+    oscillations around the steady state stay below ``x`` (band) times
+    the steady-state value. Returns 0.0 for a waveform that never leaves
+    the band (already settled).
+    """
+    t, v = _validate(t, v)
+    limit = abs(final_value) * band
+    outside = np.abs(v - final_value) > limit
+    if not outside.any():
+        return 0.0
+    last = int(np.nonzero(outside)[0][-1])
+    if last == t.size - 1:
+        raise SimulationError(
+            "waveform has not settled by the end of the grid; "
+            "extend the time horizon"
+        )
+    # Interpolate the band exit between samples last and last+1.
+    v0, v1 = v[last], v[last + 1]
+    edge = final_value + limit * math.copysign(1.0, v0 - final_value)
+    if v1 == v0:
+        return float(t[last + 1])
+    frac = (edge - v0) / (v1 - v0)
+    frac = float(np.clip(frac, 0.0, 1.0))
+    return float(t[last] + frac * (t[last + 1] - t[last]))
+
+
+@dataclass(frozen=True)
+class WaveformMetrics:
+    """All paper figures of merit for one measured waveform."""
+
+    delay_50: float
+    rise_time: float
+    overshoots: Tuple[Tuple[float, float], ...]
+    settling_time: float
+    final_value: float
+
+    @property
+    def first_overshoot_fraction(self) -> Optional[float]:
+        """Peak of the first overshoot as a fraction above final value."""
+        if not self.overshoots:
+            return None
+        _, value = self.overshoots[0]
+        return (value - self.final_value) / self.final_value
+
+
+def measure(
+    t: np.ndarray,
+    v: np.ndarray,
+    final_value: float = 1.0,
+    settle_band: float = 0.1,
+) -> WaveformMetrics:
+    """Extract every metric at once from a sampled waveform."""
+    return WaveformMetrics(
+        delay_50=delay_50(t, v, final_value),
+        rise_time=rise_time_10_90(t, v, final_value),
+        overshoots=tuple(overshoots(t, v, final_value)),
+        settling_time=settling_time(t, v, final_value, settle_band),
+        final_value=final_value,
+    )
+
+
+def rms_error(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Root-mean-square difference between two same-grid waveforms."""
+    reference = np.asarray(reference, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if reference.shape != candidate.shape:
+        raise SimulationError("waveforms must share a grid")
+    return float(np.sqrt(np.mean((reference - candidate) ** 2)))
+
+
+def max_error(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Maximum absolute difference between two same-grid waveforms."""
+    reference = np.asarray(reference, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if reference.shape != candidate.shape:
+        raise SimulationError("waveforms must share a grid")
+    return float(np.max(np.abs(reference - candidate)))

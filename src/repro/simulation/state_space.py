@@ -1,0 +1,161 @@
+"""State-space formulation of an RLC tree.
+
+For a tree driven by an ideal voltage source at the root, the natural
+state vector is::
+
+    x = [ v_1 .. v_n , i_1 .. i_m ]
+
+with one capacitor voltage per node and one current per *inductive*
+section (L > 0). Sections with L = 0 contribute an algebraic branch
+current ``(v_parent - v_node) / R`` and no state, so pure RC trees get the
+classic n-state formulation and the RLC/RC treatment is uniform.
+
+The dynamics are ``dx/dt = A x + b u`` with ``u`` the source voltage and
+every node voltage directly readable from the state, so the output map is
+a row selector. The KCL/KVL stamps are:
+
+* node k (capacitance C_k):
+  ``C_k dv_k/dt = i_in(k) - sum_children i_in(c)``
+* inductive section k:  ``L_k di_k/dt = v_parent(k) - v_k - R_k i_k``
+* resistive section k:  ``i_in(k) = (v_parent(k) - v_k) / R_k``
+
+Every node must carry positive capacitance: a zero-capacitance node would
+turn the ODE into a DAE. :func:`ensure_positive_capacitance` adds a
+configurable floor for trees imported from netlists with pure branching
+nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..circuit.elements import Section
+from ..circuit.tree import RLCTree
+from ..errors import SimulationError
+
+__all__ = ["StateSpace", "build_state_space", "ensure_positive_capacitance"]
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """``dx/dt = A x + b u`` plus the node-voltage bookkeeping.
+
+    Attributes
+    ----------
+    a : (N, N) system matrix.
+    b : (N,) input vector (u is the root voltage).
+    node_index : state index of each node's capacitor voltage.
+    inductor_index : state index of each inductive section's current.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    node_index: Dict[str, int]
+    inductor_index: Dict[str, int]
+
+    @property
+    def order(self) -> int:
+        """Number of states (order of the characteristic polynomial)."""
+        return self.a.shape[0]
+
+    def output_row(self, node: str) -> np.ndarray:
+        """Selector row c such that v_node = c @ x."""
+        if node not in self.node_index:
+            raise SimulationError(f"node {node!r} is not a state")
+        row = np.zeros(self.order)
+        row[self.node_index[node]] = 1.0
+        return row
+
+    def output_matrix(self, nodes: Sequence[str]) -> np.ndarray:
+        """Stacked selector rows for several nodes."""
+        return np.vstack([self.output_row(n) for n in nodes])
+
+
+def build_state_space(tree: RLCTree) -> StateSpace:
+    """Assemble the state-space model of ``tree``.
+
+    Raises :class:`SimulationError` when a node carries zero capacitance
+    (see module docstring) or the tree is empty.
+    """
+    if tree.size == 0:
+        raise SimulationError("cannot simulate an empty tree")
+    nodes = list(tree.nodes)
+    for name in nodes:
+        if tree.section(name).capacitance <= 0.0:
+            raise SimulationError(
+                f"node {name!r} has zero capacitance; transient analysis "
+                "needs C > 0 at every node "
+                "(see ensure_positive_capacitance)"
+            )
+
+    node_index = {name: i for i, name in enumerate(nodes)}
+    inductive = [name for name in nodes if tree.section(name).inductance > 0.0]
+    inductor_index = {
+        name: len(nodes) + j for j, name in enumerate(inductive)
+    }
+    order = len(nodes) + len(inductive)
+    a = np.zeros((order, order))
+    b = np.zeros(order)
+
+    for name in nodes:
+        section = tree.section(name)
+        parent = tree.parent(name)
+        k = node_index[name]
+        c_k = section.capacitance
+        parent_is_root = parent == tree.root
+
+        if section.inductance > 0.0:
+            j = inductor_index[name]
+            inv_l = 1.0 / section.inductance
+            # KVL for the inductor current.
+            a[j, k] -= inv_l
+            a[j, j] -= section.resistance * inv_l
+            if parent_is_root:
+                b[j] += inv_l
+            else:
+                a[j, node_index[parent]] += inv_l
+            # KCL contributions of this branch current.
+            a[k, j] += 1.0 / c_k
+            if not parent_is_root:
+                p = node_index[parent]
+                a[p, j] -= 1.0 / tree.section(parent).capacitance
+        else:
+            g = 1.0 / section.resistance
+            # Branch current (v_parent - v_k) * g enters node k ...
+            a[k, k] -= g / c_k
+            if parent_is_root:
+                b[k] += g / c_k
+            else:
+                a[k, node_index[parent]] += g / c_k
+            # ... and leaves the parent node.
+            if not parent_is_root:
+                p = node_index[parent]
+                c_p = tree.section(parent).capacitance
+                a[p, p] -= g / c_p
+                a[p, k] += g / c_p
+
+    return StateSpace(a=a, b=b, node_index=node_index, inductor_index=inductor_index)
+
+
+def ensure_positive_capacitance(
+    tree: RLCTree, floor: float = 1e-18
+) -> RLCTree:
+    """Return a tree whose every node has at least ``floor`` capacitance.
+
+    Netlists can legitimately contain capacitance-free branching nodes;
+    simulation cannot. A 1-attofarad floor (default) perturbs any
+    realistic interconnect response by far less than solver tolerance.
+    Returns the original object when nothing needed fixing.
+    """
+    if floor <= 0.0:
+        raise SimulationError("capacitance floor must be positive")
+    if all(s.capacitance > 0.0 for _, s in tree.sections()):
+        return tree
+    return tree.map_sections(
+        lambda _, s: s
+        if s.capacitance > 0.0
+        else Section(s.resistance, s.inductance, floor)
+    )

@@ -1,0 +1,215 @@
+"""Exact distributed (lossy transmission-line) reference model.
+
+Every tree in this library lumps wires into RLC sections. The *exact*
+physics of a uniform wire is the lossy transmission line — the telegraph
+equations — and the standard question about any lumped model is how many
+sections it takes to stop mattering. This module answers it with the
+distributed solution itself:
+
+* frequency domain: the ABCD (chain) matrix of a uniform line of length
+  ``d`` with per-unit-length ``r``, ``l``, ``c``::
+
+      gamma(s) = sqrt((r + s l) * s c)        (propagation constant)
+      Z0(s)    = sqrt((r + s l) / (s c))      (characteristic impedance)
+
+      [A B; C D] = [cosh(gamma d),  Z0 sinh(gamma d);
+                    sinh(gamma d)/Z0,  cosh(gamma d)]
+
+  terminated by a source resistance ``R_s`` and a load capacitance
+  ``C_L``, the source-to-load transfer function is::
+
+      H(s) = 1 / (A + B Y_L + R_s (C + D Y_L)),    Y_L = s C_L
+
+* time domain: the step response is the numerical inverse Laplace
+  transform of ``H(s)/s`` by the fixed-Talbot method (Abate & Valko),
+  which handles the oscillatory, time-of-flight-delayed responses of
+  low-loss lines to ~1e-6 absolute accuracy with ~64 contour nodes
+  (validated against closed forms and the modal solver in the tests).
+
+The benchmarks use this as the convergence target: the lumped ladder's
+response approaches the distributed one as the section count grows,
+which quantifies the lumping error every experiment in the paper
+implicitly accepts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from ..circuit.builders import distributed_line
+from ..circuit.elements import Section
+from ..circuit.tree import RLCTree
+from ..errors import SimulationError
+
+__all__ = ["TransmissionLine", "talbot_inverse_laplace"]
+
+
+def talbot_inverse_laplace(
+    transform: Callable[[complex], complex],
+    t: np.ndarray,
+    terms: int = 64,
+) -> np.ndarray:
+    """Fixed-Talbot numerical inverse Laplace transform.
+
+    Evaluates ``f(t) = L^-1[F](t)`` on the deformed Bromwich contour of
+    Abate & Valko (2004) with ``terms`` nodes. Accurate to ~1e-6 for
+    transforms whose singularities lie in the left half plane (any
+    stable network function); ``t <= 0`` returns 0. ``transform`` must
+    accept complex scalars.
+    """
+    if terms < 8:
+        raise SimulationError("Talbot inversion needs at least 8 terms")
+    t = np.asarray(t, dtype=float)
+    out = np.zeros(t.shape, dtype=float)
+    for index, time in np.ndenumerate(t):
+        if time <= 0.0:
+            continue
+        scale = 2.0 * terms / (5.0 * time)
+        total = 0.5 * (transform(complex(scale)) * math.e ** (scale * time)).real
+        for k in range(1, terms):
+            theta = k * math.pi / terms
+            cot = 1.0 / math.tan(theta)
+            s = scale * theta * complex(cot, 1.0)
+            sigma = theta + (theta * cot - 1.0) * cot
+            total += (
+                np.exp(time * s) * transform(s) * complex(1.0, sigma)
+            ).real
+        out[index] = (scale / terms) * total
+    return out
+
+
+@dataclass(frozen=True)
+class TransmissionLine:
+    """A uniform lossy line with resistive source and capacitive load.
+
+    Per-unit-length values in SI (ohm/m, H/m, F/m); ``length`` in
+    meters. ``inductance > 0`` is required (the distributed RC line is a
+    different special function; use a dense lumped ladder for that
+    limit).
+    """
+
+    resistance: float  # per meter
+    inductance: float  # per meter
+    capacitance: float  # per meter
+    length: float
+    source_resistance: float = 0.0
+    load_capacitance: float = 0.0
+
+    def __post_init__(self):
+        if self.resistance < 0.0 or self.source_resistance < 0.0:
+            raise SimulationError("resistances must be non-negative")
+        if self.inductance <= 0.0 or self.capacitance <= 0.0:
+            raise SimulationError("per-unit l and c must be positive")
+        if self.length <= 0.0:
+            raise SimulationError("length must be positive")
+        if self.load_capacitance < 0.0:
+            raise SimulationError("load capacitance must be non-negative")
+
+    # -- physical constants -------------------------------------------------
+
+    @property
+    def time_of_flight(self) -> float:
+        """``d sqrt(l c)``: the earliest the far end can move."""
+        return self.length * math.sqrt(self.inductance * self.capacitance)
+
+    @property
+    def characteristic_impedance(self) -> float:
+        """Lossless ``sqrt(l/c)`` (the high-frequency limit of Z0)."""
+        return math.sqrt(self.inductance / self.capacitance)
+
+    @property
+    def total_resistance(self) -> float:
+        return self.resistance * self.length
+
+    @property
+    def attenuation(self) -> float:
+        """Low-loss amplitude attenuation ``exp(-R_t / (2 Z0))``."""
+        return math.exp(
+            -self.total_resistance / (2.0 * self.characteristic_impedance)
+        )
+
+    # -- frequency domain ----------------------------------------------------
+
+    def transfer_function(
+        self, s: Union[complex, np.ndarray]
+    ) -> Union[complex, np.ndarray]:
+        """Exact ``V_load / V_source`` at complex frequency ``s``."""
+        scalar = np.isscalar(s)
+        s = np.atleast_1d(np.asarray(s, dtype=complex))
+        series = self.resistance + s * self.inductance
+        shunt = s * self.capacitance
+        gamma = np.sqrt(series * shunt)  # principal root: Re(gamma) >= 0
+        z0 = np.sqrt(series / shunt)
+        gd = gamma * self.length
+        # Exponentially scaled form: with E = exp(-2 gd) (|E| <= 1),
+        # cosh = e^gd (1 + E)/2 and sinh = e^gd (1 - E)/2, so
+        # H = 2 e^-gd / [(1+E)(1 + Rs Y_L) + (1-E)(Z0 Y_L + Rs/Z0)],
+        # which never overflows for Re(gd) >= 0.
+        y_load = s * self.load_capacitance
+        r_s = self.source_resistance
+        decay = np.exp(-gd)
+        double_decay = decay * decay
+        denominator = (1.0 + double_decay) * (1.0 + r_s * y_load) + (
+            1.0 - double_decay
+        ) * (z0 * y_load + r_s / z0)
+        h = 2.0 * decay / denominator
+        return complex(h[0]) if scalar else h
+
+    def frequency_response(self, frequencies: np.ndarray) -> np.ndarray:
+        """``H(j 2 pi f)`` over an array of frequencies in hertz."""
+        s = 2j * math.pi * np.asarray(frequencies, dtype=float)
+        return np.atleast_1d(self.transfer_function(s))
+
+    # -- time domain -----------------------------------------------------------
+
+    def step_response(
+        self, t: np.ndarray, amplitude: float = 1.0, terms: int = 64
+    ) -> np.ndarray:
+        """Exact step response by Talbot inversion of ``H(s)/s``."""
+        def transform(s: complex) -> complex:
+            return complex(self.transfer_function(s)) / s
+
+        return amplitude * talbot_inverse_laplace(transform, t, terms=terms)
+
+    def time_grid(self, flights: float = 20.0, points: int = 1001) -> np.ndarray:
+        """A grid spanning ``flights`` times of flight (skipping t = 0)."""
+        end = flights * self.time_of_flight
+        return np.linspace(end / points, end, points)
+
+    # -- lumped approximations ----------------------------------------------
+
+    def lumped_ladder(self, num_sections: int) -> RLCTree:
+        """The ``num_sections``-section lumped model, driver included.
+
+        The returned tree has a ``drv`` section carrying the source
+        resistance (with negligible capacitance) so its sink response is
+        directly comparable to :meth:`step_response`.
+        """
+        line = distributed_line(
+            self.total_resistance,
+            self.inductance * self.length,
+            self.capacitance * self.length,
+            num_sections=num_sections,
+            load_capacitance=self.load_capacitance,
+        )
+        if self.source_resistance == 0.0:
+            return line
+        tree = RLCTree(line.root)
+        tree.add_section(
+            "drv", line.root, section=Section(self.source_resistance, 0.0, 1e-18)
+        )
+        for name in line.nodes:
+            parent = line.parent(name)
+            tree.add_section(
+                name,
+                "drv" if parent == line.root else parent,
+                section=line.section(name),
+            )
+        return tree
+
+    def sink_name(self, num_sections: int) -> str:
+        return f"n{num_sections}"

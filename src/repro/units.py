@@ -1,0 +1,117 @@
+"""Engineering-notation helpers.
+
+EDA tools live and die by unit suffixes: a clock-tree section is "25 ohm,
+10 nH, 0.5 pF", not "25, 1e-8, 5e-13". This module converts between SPICE
+style suffixed strings and floats, and formats floats back into the most
+readable engineering form.
+
+The accepted suffixes follow SPICE conventions (case-insensitive), with
+``meg`` for 1e6 because ``m`` means milli::
+
+    f=1e-15  p=1e-12  n=1e-9  u=1e-6  m=1e-3
+    k=1e3    meg=1e6  g=1e9   t=1e12
+
+Trailing unit names (``ohm``, ``f``, ``h``, ``s``, ``v``, ``a``) after the
+suffix are ignored, as in SPICE (``10pF``, ``2.5nH``, ``50ohm``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import ElementValueError
+
+__all__ = ["parse_value", "format_value", "SI_PREFIXES"]
+
+#: Multipliers for SPICE-style suffixes, in lowercase.
+SI_PREFIXES = {
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "m": 1e-3,
+    "k": 1e3,
+    "meg": 1e6,
+    "g": 1e9,
+    "t": 1e12,
+}
+
+# Number, then optional suffix, then optional alphabetic unit tail.
+_VALUE_RE = re.compile(
+    r"""^\s*
+        (?P<number>[-+]?(\d+(\.\d*)?|\.\d+)([eE][-+]?\d+)?)
+        (?P<suffix>meg|[fpnumkgt])?
+        (?P<unit>[a-z]*)
+        \s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+# Display prefixes for format_value, from largest to smallest.
+_DISPLAY_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse an engineering-notation value into a float.
+
+    Floats and ints pass through unchanged, so APIs can accept either
+    ``0.5e-12`` or ``"0.5pF"`` in the same argument.
+
+    >>> parse_value("10pF")
+    1e-11
+    >>> parse_value("2.5nH")
+    2.5e-09
+    >>> parse_value("1meg")
+    1000000.0
+    >>> parse_value(42)
+    42.0
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if math.isnan(value):
+            raise ElementValueError("value is NaN")
+        return value
+
+    match = _VALUE_RE.match(text)
+    if match is None:
+        raise ElementValueError(f"cannot parse value {text!r}")
+    number = float(match.group("number"))
+    suffix = match.group("suffix")
+    if suffix is None:
+        return number
+    return number * SI_PREFIXES[suffix.lower()]
+
+
+def format_value(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with the closest engineering prefix.
+
+    >>> format_value(1e-11, "F")
+    '10pF'
+    >>> format_value(2.5e-9, "H")
+    '2.5nH'
+    >>> format_value(0.0, "s")
+    '0s'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    if math.isnan(value) or math.isinf(value):
+        return f"{value}{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _DISPLAY_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{prefix}{unit}"
+    # Below 1e-15: fall back to scientific notation.
+    return f"{value:.{digits}g}{unit}"

@@ -1,0 +1,94 @@
+"""Unit tests for the closed-form delay/rise expressions and the RC limit."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    SecondOrderModel,
+    delay_50,
+    delay_50_from_sums,
+    elmore_delay,
+    elmore_time_constant,
+    rise_time,
+    rise_time_from_sums,
+    scaled_delay,
+    scaled_rise,
+    wyatt_rise_time,
+)
+from repro.errors import ElementValueError
+
+
+class TestModelMetrics:
+    def test_delay_is_scaled_fit_over_wn(self):
+        model = SecondOrderModel(zeta=0.8, omega_n=2e10)
+        assert delay_50(model) == pytest.approx(scaled_delay(0.8) / 2e10)
+
+    def test_rise_is_scaled_fit_over_wn(self):
+        model = SecondOrderModel(zeta=0.8, omega_n=2e10)
+        assert rise_time(model) == pytest.approx(scaled_rise(0.8) / 2e10)
+
+    def test_delay_scales_inversely_with_wn(self):
+        slow = SecondOrderModel(zeta=1.0, omega_n=1e9)
+        fast = SecondOrderModel(zeta=1.0, omega_n=1e10)
+        assert delay_50(slow) == pytest.approx(10 * delay_50(fast))
+
+
+class TestFromSums:
+    def test_matches_model_construction(self):
+        t_rc, t_lc = 2e-10, 5e-21
+        expected = delay_50(SecondOrderModel.from_sums(t_rc, t_lc))
+        assert delay_50_from_sums(t_rc, t_lc) == pytest.approx(expected)
+
+    def test_rc_limit_is_elmore(self):
+        assert delay_50_from_sums(2e-10, 0.0) == pytest.approx(
+            math.log(2) * 2e-10
+        )
+        assert rise_time_from_sums(2e-10, 0.0) == pytest.approx(
+            math.log(9) * 2e-10
+        )
+
+    def test_continuity_at_rc_limit(self):
+        """Eq. 37's selling point: as T_LC -> 0 the RLC formula converges
+        to the Elmore (Wyatt) value (1.39/2 vs ln 2: within 1%)."""
+        t_rc = 2e-10
+        tiny_lc = (t_rc / 2000.0) ** 2  # zeta = 1000
+        rlc = delay_50_from_sums(t_rc, tiny_lc)
+        rc = delay_50_from_sums(t_rc, 0.0)
+        assert rlc == pytest.approx(rc, rel=0.01)
+
+    def test_rise_continuity_at_rc_limit(self):
+        t_rc = 2e-10
+        tiny_lc = (t_rc / 2000.0) ** 2
+        assert rise_time_from_sums(t_rc, tiny_lc) == pytest.approx(
+            rise_time_from_sums(t_rc, 0.0), rel=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ElementValueError):
+            delay_50_from_sums(0.0, 1e-20)
+        with pytest.raises(ElementValueError):
+            delay_50_from_sums(1e-10, -1e-20)
+        with pytest.raises(ElementValueError):
+            rise_time_from_sums(-1e-10, 0.0)
+
+
+class TestRCExpressions:
+    def test_elmore_delay_factor(self):
+        assert elmore_delay(1e-10) == pytest.approx(math.log(2) * 1e-10)
+
+    def test_elmore_time_constant_identity(self):
+        assert elmore_time_constant(3e-10) == 3e-10
+
+    def test_wyatt_rise(self):
+        assert wyatt_rise_time(1e-10) == pytest.approx(math.log(9) * 1e-10)
+
+    def test_zero_allowed(self):
+        assert elmore_delay(0.0) == 0.0
+        assert wyatt_rise_time(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ElementValueError):
+            elmore_delay(-1e-10)
+        with pytest.raises(ElementValueError):
+            wyatt_rise_time(-1e-10)

@@ -1,0 +1,129 @@
+"""Unit tests for the Fig. 6 scaled metrics and the eq. 33/34 fits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DELAY_FIT_COEFFICIENTS,
+    fit_delay,
+    fit_rise,
+    scaled_delay,
+    scaled_delay_exact,
+    scaled_rise,
+    scaled_rise_exact,
+    scaled_step_response,
+    scaled_threshold_crossing,
+)
+from repro.errors import FittingError
+
+
+class TestExactScaledMetrics:
+    def test_lossless_limit_delay(self):
+        # zeta -> 0: v = 1 - cos(tau) crosses 0.5 at tau = pi/3 = 1.047...
+        assert scaled_delay_exact(1e-6) == pytest.approx(math.pi / 3, rel=1e-4)
+
+    def test_lossless_limit_rise(self):
+        # 1 - cos crossings: acos(0.1) - acos(0.9).
+        expected = math.acos(0.1) - math.acos(0.9)
+        assert scaled_rise_exact(1e-6) == pytest.approx(expected, rel=1e-4)
+
+    def test_critical_damping_delay(self):
+        # (1 + tau) e^-tau = 0.5 at tau ~ 1.6783.
+        assert scaled_delay_exact(1.0) == pytest.approx(1.6783, rel=1e-3)
+
+    def test_large_zeta_asymptote(self):
+        # Dominant pole time constant ~ 2 zeta: delay -> 2 ln2 zeta.
+        z = 50.0
+        assert scaled_delay_exact(z) == pytest.approx(2 * math.log(2) * z, rel=1e-2)
+        assert scaled_rise_exact(z) == pytest.approx(2 * math.log(9) * z, rel=1e-2)
+
+    def test_crossing_is_on_response(self):
+        for zeta in (0.3, 1.0, 2.0):
+            tau = scaled_threshold_crossing(zeta, 0.5)
+            v = scaled_step_response(zeta, np.array([tau]))[0]
+            assert v == pytest.approx(0.5, abs=1e-9)
+
+    def test_delay_increases_with_zeta(self):
+        grid = [0.2, 0.5, 1.0, 2.0, 4.0]
+        values = [scaled_delay_exact(z) for z in grid]
+        assert values == sorted(values)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(FittingError):
+            scaled_threshold_crossing(0.5, 1.5)
+        with pytest.raises(FittingError):
+            scaled_threshold_crossing(-1.0, 0.5)
+
+
+class TestPublishedDelayFit:
+    def test_coefficients_are_eq33(self):
+        assert DELAY_FIT_COEFFICIENTS == (1.047, 0.85, 1.39)
+
+    @pytest.mark.parametrize("zeta", [0.1, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0, 5.0])
+    def test_within_three_percent_of_exact(self, zeta):
+        assert scaled_delay(zeta) == pytest.approx(
+            scaled_delay_exact(zeta), rel=0.03
+        )
+
+    def test_vectorized(self):
+        z = np.array([0.5, 1.0, 2.0])
+        out = scaled_delay(z)
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(scaled_delay(0.5))
+
+    def test_scalar_returns_float(self):
+        assert isinstance(scaled_delay(1.0), float)
+
+
+class TestRiseFit:
+    @pytest.mark.parametrize("zeta", [0.1, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0, 5.0])
+    def test_within_three_percent_of_exact(self, zeta):
+        assert scaled_rise(zeta) == pytest.approx(scaled_rise_exact(zeta), rel=0.03)
+
+    def test_monotone_increasing(self):
+        z = np.linspace(0.05, 8.0, 200)
+        values = scaled_rise(z)
+        assert np.all(np.diff(values) > 0)
+
+    def test_positive_everywhere(self):
+        z = np.linspace(0.01, 20.0, 500)
+        assert np.all(scaled_rise(z) > 0)
+
+
+class TestRefitProcedure:
+    """Re-running the paper's own fitting procedure must land close to
+    the published coefficients / shipped fit."""
+
+    def test_delay_refit_matches_published_quality(self):
+        result = fit_delay()
+        assert result.max_relative_error < 0.05
+        a, b, c = result.coefficients
+        # Asymptotic slope must be the Elmore limit 2 ln 2 = 1.386...
+        assert c == pytest.approx(1.39, abs=0.05)
+        assert a == pytest.approx(1.047, abs=0.15)
+        assert b == pytest.approx(0.85, abs=0.2)
+
+    def test_rise_refit_matches_shipped_quality(self):
+        result = fit_rise()
+        assert result.max_relative_error < 0.05
+        z = np.linspace(0.1, 4.0, 50)
+        np.testing.assert_allclose(result(z), scaled_rise(z), rtol=0.05)
+
+    def test_custom_grid(self):
+        result = fit_delay(zeta_grid=np.linspace(0.3, 2.0, 20))
+        assert result.max_relative_error < 0.03
+        assert len(result.zeta_grid) == 20
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(FittingError):
+            fit_delay(zeta_grid=[0.5, 1.0])
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(FittingError):
+            fit_delay(form="septic_spline")
+
+    def test_fit_result_callable(self):
+        result = fit_delay()
+        assert result(1.0) == pytest.approx(scaled_delay_exact(1.0), rel=0.05)

@@ -1,0 +1,156 @@
+"""Unit tests for the overshoot train and settling time (eqs. 39-42),
+cross-checked against the model's own step response and measured peaks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SecondOrderModel,
+    overshoot_fraction,
+    overshoot_time,
+    overshoot_train,
+    settling_oscillation_count,
+    settling_time,
+)
+from repro.errors import ElementValueError
+from repro.simulation import measures
+
+WN = 1e10
+
+
+class TestClosedForms:
+    def test_eq39_formula(self):
+        model = SecondOrderModel(zeta=0.4, omega_n=WN)
+        expected = math.exp(-math.pi * 0.4 / math.sqrt(1 - 0.16))
+        assert overshoot_fraction(model, 1) == pytest.approx(expected)
+        assert overshoot_fraction(model, 3) == pytest.approx(expected**3)
+
+    def test_eq40_formula(self):
+        model = SecondOrderModel(zeta=0.4, omega_n=WN)
+        wd = WN * math.sqrt(1 - 0.16)
+        assert overshoot_time(model, 1) == pytest.approx(math.pi / wd)
+        assert overshoot_time(model, 2) == pytest.approx(2 * math.pi / wd)
+
+    def test_overshoots_require_underdamping(self):
+        model = SecondOrderModel(zeta=1.2, omega_n=WN)
+        with pytest.raises(ElementValueError, match="zeta < 1"):
+            overshoot_fraction(model)
+        with pytest.raises(ElementValueError):
+            overshoot_time(model)
+
+    def test_index_validation(self):
+        model = SecondOrderModel(zeta=0.5, omega_n=WN)
+        with pytest.raises(ElementValueError):
+            overshoot_fraction(model, 0)
+        with pytest.raises(ElementValueError):
+            overshoot_time(model, 0)
+
+
+class TestAgainstOwnWaveform:
+    """The analytic extrema must sit exactly on the eq. 31 response."""
+
+    @pytest.mark.parametrize("zeta", [0.2, 0.5, 0.8])
+    def test_peak_times_and_values(self, zeta):
+        model = SecondOrderModel(zeta=zeta, omega_n=WN)
+        train = overshoot_train(model, threshold=1e-3)
+        assert train, "expected ringing"
+        for peak in train[:4]:
+            value = model.step_response(np.array([peak.time]))[0]
+            assert value == pytest.approx(peak.value, rel=1e-9)
+
+    @pytest.mark.parametrize("zeta", [0.3, 0.6])
+    def test_against_measured_extrema(self, zeta):
+        model = SecondOrderModel(zeta=zeta, omega_n=WN)
+        t = np.linspace(0, 40 / WN, 40001)
+        v = model.step_response(t)
+        measured = measures.overshoots(t, v, minimum_size=1e-3)
+        train = overshoot_train(model, threshold=1e-3)
+        for (mt, mv), peak in zip(measured, train):
+            assert mt == pytest.approx(peak.time, rel=1e-3)
+            assert mv == pytest.approx(peak.value, rel=1e-4)
+
+
+class TestTrainStructure:
+    def test_alternating_signs(self):
+        train = overshoot_train(SecondOrderModel(zeta=0.3, omega_n=WN))
+        for peak in train:
+            if peak.index % 2 == 1:
+                assert peak.value > 1.0
+                assert peak.is_overshoot
+            else:
+                assert peak.value < 1.0
+                assert not peak.is_overshoot
+
+    def test_geometric_decay(self):
+        train = overshoot_train(SecondOrderModel(zeta=0.3, omega_n=WN))
+        ratios = [
+            train[i + 1].fraction / train[i].fraction for i in range(len(train) - 1)
+        ]
+        for ratio in ratios:
+            assert ratio == pytest.approx(ratios[0], rel=1e-9)
+
+    def test_threshold_truncates(self):
+        model = SecondOrderModel(zeta=0.3, omega_n=WN)
+        long = overshoot_train(model, threshold=1e-6)
+        short = overshoot_train(model, threshold=1e-2)
+        assert len(long) > len(short)
+        assert all(p.fraction >= 1e-2 for p in short)
+
+    def test_final_value_scaling(self):
+        model = SecondOrderModel(zeta=0.4, omega_n=WN)
+        unit = overshoot_train(model)
+        scaled = overshoot_train(model, final_value=2.5)
+        assert scaled[0].value == pytest.approx(2.5 * unit[0].value)
+
+    def test_strong_damping_short_train(self):
+        # Lambda_1 at zeta = 0.95 is ~7e-5, so a 1e-5 threshold keeps
+        # only a couple of barely-visible extrema.
+        train = overshoot_train(SecondOrderModel(zeta=0.95, omega_n=WN),
+                                threshold=1e-5)
+        assert 0 < len(train) <= 2
+
+
+class TestSettling:
+    def test_eq42_structure(self):
+        model = SecondOrderModel(zeta=0.3, omega_n=WN)
+        n = settling_oscillation_count(model, band=0.1)
+        assert settling_time(model, band=0.1) == pytest.approx(
+            overshoot_time(model, n)
+        )
+        # n is minimal: excursion n-1 must still exceed the band.
+        assert overshoot_fraction(model, n) <= 0.1
+        if n > 1:
+            assert overshoot_fraction(model, n - 1) > 0.1
+
+    @pytest.mark.parametrize("zeta", [0.2, 0.5, 0.8])
+    def test_against_measured_settling(self, zeta):
+        model = SecondOrderModel(zeta=zeta, omega_n=WN)
+        t = np.linspace(0, 80 / WN, 80001)
+        v = model.step_response(t)
+        measured = measures.settling_time(t, v, band=0.1)
+        analytic = settling_time(model, band=0.1)
+        # The analytic value is the *extremum* time; the band exit
+        # happens up to half a ringing period earlier.
+        half_period = math.pi / model.damped_frequency
+        assert measured <= analytic + 1e-12
+        assert analytic - measured <= half_period
+
+    def test_monotone_settling_uses_dominant_pole(self):
+        model = SecondOrderModel(zeta=2.0, omega_n=WN)
+        slow_pole = max(p.real for p in model.poles())
+        expected = -math.log(0.1) / abs(slow_pole)
+        assert settling_time(model, band=0.1) == pytest.approx(expected)
+
+    def test_tighter_band_longer_settle(self):
+        model = SecondOrderModel(zeta=0.3, omega_n=WN)
+        assert settling_time(model, band=0.01) > settling_time(model, band=0.2)
+
+    def test_band_validation(self):
+        model = SecondOrderModel(zeta=0.5, omega_n=WN)
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ElementValueError):
+                settling_time(model, band=bad)
+            with pytest.raises(ElementValueError):
+                settling_oscillation_count(model, band=bad)

@@ -1,0 +1,97 @@
+"""Unit tests for the closed-form/convolution response dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SecondOrderModel, convolution_response, model_response
+from repro.errors import SimulationError
+from repro.simulation import (
+    ExponentialSource,
+    PWLSource,
+    RampSource,
+    StepSource,
+)
+
+WN = 1e10
+
+
+@pytest.fixture
+def model():
+    return SecondOrderModel(zeta=0.6, omega_n=WN)
+
+
+@pytest.fixture
+def grid():
+    return np.linspace(0, 60 / WN, 6001)
+
+
+class TestDispatch:
+    def test_step(self, model, grid):
+        np.testing.assert_allclose(
+            model_response(model, StepSource(amplitude=1.5), grid),
+            model.step_response(grid, amplitude=1.5),
+        )
+
+    def test_exponential(self, model, grid):
+        src = ExponentialSource(tau=2 / WN, amplitude=2.0, delay=1 / WN)
+        np.testing.assert_allclose(
+            model_response(model, src, grid),
+            model.exponential_response(grid, tau=2 / WN, amplitude=2.0,
+                                       delay=1 / WN),
+        )
+
+    def test_ramp(self, model, grid):
+        src = RampSource(rise_time=5 / WN)
+        np.testing.assert_allclose(
+            model_response(model, src, grid),
+            model.ramp_response(grid, rise_time=5 / WN),
+        )
+
+    def test_pwl_final_value(self, model, grid):
+        src = PWLSource.from_points([(0.0, 0.0), (3 / WN, 0.8), (6 / WN, 0.8)])
+        v = model_response(model, src, grid)
+        assert v[-1] == pytest.approx(0.8, rel=1e-3)
+
+    def test_pwl_equals_equivalent_ramp(self, model, grid):
+        ramp = RampSource(rise_time=4 / WN)
+        pwl = PWLSource.from_points([(0.0, 0.0), (4 / WN, 1.0)])
+        np.testing.assert_allclose(
+            model_response(model, pwl, grid),
+            model_response(model, ramp, grid),
+            atol=1e-9,
+        )
+
+    def test_unsupported_type_rejected(self, model, grid):
+        with pytest.raises(SimulationError):
+            model_response(model, object(), grid)
+
+
+class TestConvolution:
+    def test_matches_closed_form_for_exponential(self, model, grid):
+        src = ExponentialSource(tau=3 / WN)
+        closed = model.exponential_response(grid, tau=3 / WN)
+        numeric = convolution_response(model, src, grid)
+        np.testing.assert_allclose(numeric, closed, atol=2e-3)
+
+    def test_callable_dispatches_to_convolution(self, model, grid):
+        def custom(t):
+            return np.where(t >= 0, 1.0 - np.exp(-t * WN / 3), 0.0)
+
+        via_dispatch = model_response(model, custom, grid)
+        direct = convolution_response(model, custom, grid)
+        np.testing.assert_allclose(via_dispatch, direct)
+
+    def test_nonuniform_grid_rejected(self, model):
+        t = np.array([0.0, 1.0, 3.0]) / WN
+        with pytest.raises(SimulationError, match="uniform"):
+            convolution_response(model, lambda x: np.ones_like(x), t)
+
+    def test_wrong_shape_source_rejected(self, model, grid):
+        with pytest.raises(SimulationError, match="shaped"):
+            convolution_response(model, lambda x: np.zeros(3), grid)
+
+    def test_tiny_grid_rejected(self, model):
+        with pytest.raises(SimulationError):
+            convolution_response(
+                model, lambda x: np.ones_like(x), np.array([0.0])
+            )

@@ -1,0 +1,173 @@
+"""Unit tests for van Ginneken buffer insertion with RC/RLC delays."""
+
+import math
+
+import pytest
+
+from repro.apps import Buffer, insert_buffers, wire_segment_delay
+from repro.circuit import RLCTree, Section, single_line
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def buffer_cell():
+    return Buffer(
+        output_resistance=25.0, input_capacitance=15e-15, intrinsic_delay=15e-12
+    )
+
+
+@pytest.fixture
+def long_line():
+    """A long resistive line where buffering clearly pays off."""
+    return single_line(12, resistance=120.0, inductance=1e-9, capacitance=0.4e-12)
+
+
+class TestBuffer:
+    def test_driving_delay_formula(self, buffer_cell):
+        load = 1e-13
+        expected = 15e-12 + math.log(2) * 25.0 * load
+        assert buffer_cell.driving_delay(load) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Buffer(output_resistance=0.0, input_capacitance=1e-15)
+        with pytest.raises(ReproError):
+            Buffer(output_resistance=10.0, input_capacitance=-1e-15)
+
+
+class TestWireSegmentDelay:
+    def test_rc_model_ignores_inductance(self):
+        with_l = wire_segment_delay(10.0, 5e-9, 1e-13, 1e-13, "rc")
+        without_l = wire_segment_delay(10.0, 0.0, 1e-13, 1e-13, "rc")
+        assert with_l == without_l
+        assert with_l == pytest.approx(math.log(2) * 10.0 * 2e-13)
+
+    def test_rlc_model_sees_inductance(self):
+        rc = wire_segment_delay(10.0, 0.0, 1e-13, 1e-13, "rlc")
+        rlc = wire_segment_delay(10.0, 5e-9, 1e-13, 1e-13, "rlc")
+        assert rlc != rc
+
+    def test_zero_load_zero_delay(self):
+        assert wire_segment_delay(10.0, 1e-9, 0.0, 0.0, "rlc") == 0.0
+
+
+class TestInsertion:
+    def test_buffering_improves_long_line(self, long_line, buffer_cell):
+        unbuffered = insert_buffers(
+            long_line, buffer_cell, model="rc", candidate_nodes=[]
+        )
+        buffered = insert_buffers(long_line, buffer_cell, model="rc")
+        assert buffered.buffer_count > 0
+        assert buffered.required_at_root > unbuffered.required_at_root
+
+    def test_required_equals_negative_delay_for_zero_required(
+        self, long_line, buffer_cell
+    ):
+        # With sink required = 0, -required_at_root is the path delay.
+        result = insert_buffers(long_line, buffer_cell, model="rc")
+        assert result.required_at_root < 0.0
+
+    def test_no_candidates_means_no_buffers(self, long_line, buffer_cell):
+        result = insert_buffers(
+            long_line, buffer_cell, candidate_nodes=[]
+        )
+        assert result.buffer_count == 0
+        assert result.root_capacitance == pytest.approx(
+            long_line.total_capacitance()
+        )
+
+    def test_buffer_placements_are_tree_nodes(self, long_line, buffer_cell):
+        result = insert_buffers(long_line, buffer_cell)
+        assert set(result.buffer_nodes) <= set(long_line.nodes)
+
+    def test_branching_tree(self, buffer_cell):
+        tree = RLCTree()
+        tree.add_section("t", "in", section=Section(80.0, 1e-9, 0.4e-12))
+        for side in ("a", "b"):
+            parent = "t"
+            for i in range(6):
+                name = f"{side}{i}"
+                tree.add_section(name, parent,
+                                 section=Section(80.0, 1e-9, 0.4e-12))
+                parent = name
+        result = insert_buffers(tree, buffer_cell)
+        assert result.buffer_count > 0
+
+    def test_sink_required_times_respected(self, buffer_cell):
+        line = single_line(4, resistance=50.0, inductance=0.5e-9,
+                           capacitance=0.2e-12)
+        generous = insert_buffers(
+            line, buffer_cell, sink_required={"n4": 1e-9}
+        )
+        tight = insert_buffers(line, buffer_cell, sink_required={"n4": 0.0})
+        assert generous.required_at_root == pytest.approx(
+            tight.required_at_root + 1e-9
+        )
+
+    def test_sink_capacitance_hurts(self, buffer_cell):
+        line = single_line(4, resistance=50.0, inductance=0.5e-9,
+                           capacitance=0.2e-12)
+        light = insert_buffers(line, buffer_cell)
+        heavy = insert_buffers(
+            line, buffer_cell, sink_capacitance={"n4": 1e-12}
+        )
+        assert heavy.required_at_root < light.required_at_root
+
+    def test_driver_resistance_charged(self, long_line, buffer_cell):
+        free = insert_buffers(long_line, buffer_cell)
+        driven = insert_buffers(long_line, buffer_cell, driver_resistance=100.0)
+        assert driven.required_at_root < free.required_at_root
+
+    def test_rc_vs_rlc_models_differ(self, buffer_cell):
+        # Strong inductance: the RLC model sees less delay per segment
+        # (inductive lines are faster than RC predicts at low damping).
+        line = single_line(10, resistance=30.0, inductance=8e-9,
+                           capacitance=0.3e-12)
+        rc = insert_buffers(line, buffer_cell, model="rc")
+        rlc = insert_buffers(line, buffer_cell, model="rlc")
+        assert rc.required_at_root != rlc.required_at_root
+
+    def test_validation(self, long_line, buffer_cell):
+        with pytest.raises(ReproError, match="unknown delay model"):
+            insert_buffers(long_line, buffer_cell, model="spice")
+        with pytest.raises(ReproError, match="candidate"):
+            insert_buffers(long_line, buffer_cell, candidate_nodes=["zzz"])
+        with pytest.raises(ReproError):
+            insert_buffers(RLCTree(), buffer_cell)
+
+
+class TestOptimalityOnSmallInstance:
+    def test_dp_matches_brute_force(self, buffer_cell):
+        """On a 6-node line, enumerate all 2^6 placements and verify the
+        DP finds the best one."""
+        from itertools import combinations
+
+        line = single_line(6, resistance=100.0, inductance=0.8e-9,
+                           capacitance=0.3e-12)
+        model = "rlc"
+
+        def evaluate(placements):
+            """Path delay with buffers at `placements` (set of nodes)."""
+            delay = 0.0
+            cap = 0.0
+            for node in reversed(line.nodes):  # n6 ... n1 walking up
+                if node in placements:
+                    delay += buffer_cell.driving_delay(cap)
+                    cap = buffer_cell.input_capacitance
+                section = line.section(node)
+                delay += wire_segment_delay(
+                    section.resistance, section.inductance,
+                    section.capacitance, cap, model,
+                )
+                cap += section.capacitance
+            return -delay
+
+        best = max(
+            (
+                evaluate(set(chosen))
+                for k in range(7)
+                for chosen in combinations(line.nodes, k)
+            )
+        )
+        result = insert_buffers(line, buffer_cell, model=model)
+        assert result.required_at_root == pytest.approx(best, rel=1e-12)

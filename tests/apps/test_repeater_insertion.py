@@ -1,0 +1,160 @@
+"""Unit tests for optimal repeater insertion on RLC lines."""
+
+import math
+
+import pytest
+
+from repro.apps import (
+    LineParameters,
+    RepeaterLibrary,
+    bakoglu_rc,
+    optimize_repeaters,
+    stage_delay,
+    total_path_delay,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def library():
+    return RepeaterLibrary()
+
+
+@pytest.fixture
+def rc_line():
+    """A long resistive line: 10 mm at 30 ohm/mm, 0.2 pF/mm."""
+    return LineParameters(resistance=300.0, inductance=0.0,
+                          capacitance=2e-12)
+
+
+@pytest.fixture
+def rlc_line():
+    """Same line with heavy inductance (2 nH/mm)."""
+    return LineParameters(resistance=300.0, inductance=20e-9,
+                          capacitance=2e-12)
+
+
+class TestValidation:
+    def test_library_validation(self):
+        with pytest.raises(ReproError):
+            RepeaterLibrary(unit_resistance=0.0)
+        with pytest.raises(ReproError):
+            RepeaterLibrary(intrinsic_delay=-1.0)
+        with pytest.raises(ReproError):
+            RepeaterLibrary(max_size=0.5)
+
+    def test_line_validation(self):
+        with pytest.raises(ReproError):
+            LineParameters(resistance=0.0, inductance=0.0, capacitance=1e-12)
+        with pytest.raises(ReproError):
+            LineParameters(resistance=1.0, inductance=-1e-9,
+                           capacitance=1e-12)
+
+    def test_model_validation(self, rc_line, library):
+        with pytest.raises(ReproError):
+            optimize_repeaters(rc_line, library, model="spice")
+
+    def test_stage_count_validation(self, rc_line, library):
+        with pytest.raises(ReproError):
+            stage_delay(rc_line, library, 0, 10.0, "rc")
+
+
+class TestLibraryScaling:
+    def test_size_scales_r_and_c(self, library):
+        assert library.output_resistance(10.0) == pytest.approx(
+            library.unit_resistance / 10.0
+        )
+        assert library.input_capacitance(10.0) == pytest.approx(
+            library.unit_capacitance * 10.0
+        )
+
+
+class TestBakoglu:
+    def test_formula(self, rc_line, library):
+        plan = bakoglu_rc(rc_line, library)
+        k = math.sqrt(
+            0.4 * 300.0 * 2e-12 / (0.7 * 1000.0 * 2e-15)
+        )
+        assert plan.count == round(k) - 1
+        h = math.sqrt(1000.0 * 2e-12 / (300.0 * 2e-15))
+        assert plan.size == pytest.approx(min(h, library.max_size))
+
+    def test_short_line_needs_no_repeaters(self, library):
+        stub = LineParameters(resistance=5.0, inductance=0.0,
+                              capacitance=20e-15)
+        assert bakoglu_rc(stub, library).count == 0
+
+    def test_size_clamped(self, rc_line):
+        tiny_max = RepeaterLibrary(max_size=10.0)
+        assert bakoglu_rc(rc_line, tiny_max).size == 10.0
+
+
+class TestStageDelay:
+    def test_more_stages_faster_per_stage(self, rc_line, library):
+        one = stage_delay(rc_line, library, 1, 50.0, "rc")
+        four = stage_delay(rc_line, library, 4, 50.0, "rc")
+        assert four < one
+
+    def test_last_stage_faster_without_load(self, rc_line, library):
+        loaded = stage_delay(rc_line, library, 4, 50.0, "rc", last=False)
+        final = stage_delay(rc_line, library, 4, 50.0, "rc", last=True)
+        assert final < loaded
+
+    def test_rlc_stage_differs_from_rc(self, rlc_line, library):
+        rc = stage_delay(rlc_line, library, 2, 50.0, "rc")
+        rlc = stage_delay(rlc_line, library, 2, 50.0, "rlc")
+        assert rc != rlc
+
+    def test_total_combines_stages(self, rc_line, library):
+        count, size = 3, 40.0
+        inner = stage_delay(rc_line, library, 4, size, "rc", last=False)
+        final = stage_delay(rc_line, library, 4, size, "rc", last=True)
+        expected = 3 * (inner + library.intrinsic_delay) + final
+        assert total_path_delay(rc_line, library, count, size, "rc") == (
+            pytest.approx(expected)
+        )
+
+
+class TestOptimization:
+    def test_repeaters_help_long_rc_line(self, rc_line, library):
+        plan = optimize_repeaters(rc_line, library, "rc")
+        unrepeated = total_path_delay(rc_line, library, 0, plan.size, "rc")
+        assert plan.count > 0
+        assert plan.total_delay < unrepeated
+
+    def test_optimum_beats_neighbors(self, rc_line, library):
+        plan = optimize_repeaters(rc_line, library, "rc")
+        for other in (plan.count - 1, plan.count + 1):
+            if other < 0:
+                continue
+            neighbor = total_path_delay(
+                rc_line, library, other, plan.size, "rc"
+            )
+            assert plan.total_delay <= neighbor + 1e-18
+
+    def test_optimum_close_to_bakoglu_on_rc_line(self, rc_line, library):
+        numeric = optimize_repeaters(rc_line, library, "rc")
+        closed = bakoglu_rc(rc_line, library)
+        # Same decade; Bakoglu's 0.4/0.7 constants differ from eq. 35.
+        assert abs(numeric.count - closed.count) <= closed.count
+        assert numeric.total_delay <= closed.total_delay
+
+    def test_inductance_reduces_repeater_count(self, library):
+        """The follow-on paper's headline result."""
+        counts = []
+        for inductance in (0.0, 4e-9, 20e-9):
+            line = LineParameters(resistance=300.0, inductance=inductance,
+                                  capacitance=2e-12)
+            counts.append(optimize_repeaters(line, library, "rlc").count)
+        assert counts[0] >= counts[1] >= counts[2]
+        assert counts[2] < counts[0]
+
+    def test_rc_model_blind_to_inductance(self, rc_line, rlc_line, library):
+        no_l = optimize_repeaters(rc_line, library, "rc")
+        heavy_l = optimize_repeaters(rlc_line, library, "rc")
+        assert no_l.count == heavy_l.count
+        assert no_l.size == pytest.approx(heavy_l.size, rel=1e-3)
+
+    def test_stage_count_property(self, rc_line, library):
+        plan = optimize_repeaters(rc_line, library, "rc")
+        assert plan.stage_count == plan.count + 1

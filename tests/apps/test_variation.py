@@ -1,0 +1,120 @@
+"""Unit tests for Monte-Carlo variation analysis and linearized sigma."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    VariationModel,
+    linearized_sigma,
+    sample_delays,
+)
+from repro.circuit import fig5_tree, scale_tree_to_zeta
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return scale_tree_to_zeta(fig5_tree(), "n7", 0.7)
+
+
+@pytest.fixture(scope="module")
+def study(tree):
+    return sample_delays(
+        tree, "n7", VariationModel(), samples=300, exact_samples=25, seed=1
+    )
+
+
+class TestVariationModel:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            VariationModel(sigma_resistance=-0.1)
+        with pytest.raises(ReproError):
+            VariationModel(sigma_capacitance=1.0)
+
+    def test_sample_tree_positive_values(self, tree):
+        rng = np.random.default_rng(0)
+        perturbed = VariationModel(0.3, 0.3, 0.3).sample_tree(tree, rng)
+        for _, section in perturbed.sections():
+            assert section.resistance > 0
+            assert section.inductance > 0
+            assert section.capacitance > 0
+
+    def test_zero_sigma_is_identity(self, tree):
+        rng = np.random.default_rng(0)
+        same = VariationModel(0.0, 0.0, 0.0).sample_tree(tree, rng)
+        for name in tree.nodes:
+            assert same.section(name).resistance == pytest.approx(
+                tree.section(name).resistance
+            )
+
+    def test_lognormal_mean_preserving(self, tree):
+        """The -sigma^2/2 shift keeps E[factor] = 1, so the mean sampled
+        value stays near nominal."""
+        rng = np.random.default_rng(7)
+        model = VariationModel(0.2, 0.2, 0.2)
+        total = 0.0
+        draws = 400
+        for _ in range(draws):
+            perturbed = model.sample_tree(tree, rng)
+            total += perturbed.section("n1").resistance
+        nominal = tree.section("n1").resistance
+        assert total / draws == pytest.approx(nominal, rel=0.03)
+
+
+class TestSampleDelays:
+    def test_shapes(self, study):
+        assert study.rlc.values.shape == (300,)
+        assert study.exact.values.shape == (25,)
+
+    def test_distribution_sane(self, study):
+        assert study.rlc.sigma > 0
+        assert study.rlc.quantile(0.01) < study.rlc.mean < study.rlc.p99
+
+    def test_rlc_mean_tracks_exact(self, study):
+        assert study.rlc.mean == pytest.approx(study.exact.mean, rel=0.10)
+
+    def test_rc_mean_is_biased_low(self, study):
+        # Elmore ignores inductance: on this underdamped tree its whole
+        # distribution sits ~30% below reality.
+        assert study.rc.mean < 0.85 * study.exact.mean
+
+    def test_rlc_ranks_samples_better(self, study):
+        assert study.rank_correlation("rlc") > 0.85
+        assert study.rank_correlation("rlc") > study.rank_correlation("rc")
+
+    def test_deterministic_per_seed(self, tree):
+        a = sample_delays(tree, "n7", VariationModel(), samples=50, seed=3)
+        b = sample_delays(tree, "n7", VariationModel(), samples=50, seed=3)
+        np.testing.assert_array_equal(a.rlc.values, b.rlc.values)
+
+    def test_validation(self, tree):
+        with pytest.raises(ReproError):
+            sample_delays(tree, "n7", VariationModel(), samples=1)
+        with pytest.raises(ReproError):
+            sample_delays(tree, "n7", VariationModel(), samples=10,
+                          exact_samples=11)
+        with pytest.raises(ReproError):
+            sample_delays(tree, "zzz", VariationModel())
+
+    def test_rank_correlation_needs_exact(self, tree):
+        study = sample_delays(tree, "n7", VariationModel(), samples=20)
+        with pytest.raises(ReproError):
+            study.rank_correlation()
+
+
+class TestLinearizedSigma:
+    def test_matches_monte_carlo(self, tree, study):
+        nominal, sigma = linearized_sigma(tree, "n7", VariationModel())
+        assert nominal == pytest.approx(study.rlc.mean, rel=0.02)
+        assert sigma == pytest.approx(study.rlc.sigma, rel=0.20)
+
+    def test_scales_with_variation(self, tree):
+        _, small = linearized_sigma(
+            tree, "n7", VariationModel(0.05, 0.025, 0.05)
+        )
+        _, large = linearized_sigma(tree, "n7", VariationModel(0.2, 0.1, 0.2))
+        assert large == pytest.approx(4 * small, rel=1e-6)
+
+    def test_zero_variation_zero_sigma(self, tree):
+        _, sigma = linearized_sigma(tree, "n7", VariationModel(0.0, 0.0, 0.0))
+        assert sigma == 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for Section value objects."""
+
+import math
+
+import pytest
+
+from repro.circuit import Section
+from repro.errors import ElementValueError
+
+
+class TestConstruction:
+    def test_plain_floats(self):
+        s = Section(25.0, 5e-9, 0.5e-12)
+        assert s.resistance == 25.0
+        assert s.inductance == 5e-9
+        assert s.capacitance == 0.5e-12
+
+    def test_suffixed_strings(self):
+        s = Section("25ohm", "5nH", "0.5pF")
+        assert s.resistance == 25.0
+        assert s.inductance == pytest.approx(5e-9)
+        assert s.capacitance == pytest.approx(0.5e-12)
+
+    def test_mixed_inputs(self):
+        s = Section(25, "10n", 0.0)
+        assert s.inductance == pytest.approx(1e-8)
+        assert s.capacitance == 0.0
+
+    def test_zero_resistance_with_inductance_allowed(self):
+        s = Section(0.0, 1e-9, 1e-12)
+        assert s.resistance == 0.0
+
+    def test_zero_capacitance_allowed(self):
+        s = Section(10.0, 0.0, 0.0)
+        assert s.capacitance == 0.0
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_invalid_resistance_rejected(self, bad):
+        with pytest.raises(ElementValueError):
+            Section(bad, 1e-9, 1e-12)
+
+    @pytest.mark.parametrize("bad", [-1e-9, float("nan")])
+    def test_invalid_inductance_rejected(self, bad):
+        with pytest.raises(ElementValueError):
+            Section(10.0, bad, 1e-12)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ElementValueError):
+            Section(10.0, 1e-9, -1e-15)
+
+    def test_zero_impedance_branch_rejected(self):
+        with pytest.raises(ElementValueError, match="zero-impedance"):
+            Section(0.0, 0.0, 1e-12)
+
+    def test_unparseable_string_rejected(self):
+        with pytest.raises(ElementValueError):
+            Section("twenty ohms", 0.0, 0.0)
+
+
+class TestDerivedQuantities:
+    def test_single_section_damping_factor(self):
+        # zeta = (R/2) sqrt(C/L)  (paper eq. 14)
+        s = Section(2.0, 1e-9, 1e-9)
+        assert s.damping_factor == pytest.approx(1.0)
+
+    def test_damping_factor_scales_with_resistance(self):
+        low = Section(10.0, 1e-9, 1e-12)
+        high = Section(20.0, 1e-9, 1e-12)
+        assert high.damping_factor == pytest.approx(2 * low.damping_factor)
+
+    def test_rc_section_damping_is_infinite(self):
+        assert Section(10.0, 0.0, 1e-12).damping_factor == math.inf
+
+    def test_natural_frequency(self):
+        # w_n = 1/sqrt(LC)  (paper eq. 15)
+        s = Section(10.0, 4e-9, 1e-12)
+        assert s.natural_frequency == pytest.approx(1.0 / math.sqrt(4e-21))
+
+    def test_natural_frequency_infinite_without_lc(self):
+        assert Section(10.0, 0.0, 1e-12).natural_frequency == math.inf
+        assert Section(10.0, 1e-9, 0.0).natural_frequency == math.inf
+
+    def test_is_rc(self):
+        assert Section(10.0, 0.0, 1e-12).is_rc
+        assert not Section(10.0, 1e-9, 1e-12).is_rc
+
+
+class TestScaling:
+    def test_scaled_returns_new_section(self, section):
+        scaled = section.scaled(2.0, 3.0, 4.0)
+        assert scaled.resistance == pytest.approx(2 * section.resistance)
+        assert scaled.inductance == pytest.approx(3 * section.inductance)
+        assert scaled.capacitance == pytest.approx(4 * section.capacitance)
+        assert section.resistance == 25.0  # original untouched
+
+    def test_identity_scaling(self, section):
+        assert section.scaled() == section
+
+    def test_sections_are_hashable_values(self):
+        a = Section(1.0, 2e-9, 3e-12)
+        b = Section(1.0, 2e-9, 3e-12)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_uses_engineering_units(self, section):
+        text = repr(section)
+        assert "25ohm" in text
+        assert "5nH" in text
+        assert "500fF" in text

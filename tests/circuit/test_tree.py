@@ -1,0 +1,177 @@
+"""Unit tests for the RLCTree container."""
+
+import pytest
+
+from repro.circuit import RLCTree, Section
+from repro.errors import TopologyError
+
+
+@pytest.fixture
+def small_tree():
+    """in -> a -> b, a -> c (c a leaf, b a leaf)."""
+    tree = RLCTree()
+    tree.add_section("a", "in", 10.0, 1e-9, 1e-12)
+    tree.add_section("b", "a", 20.0, 2e-9, 2e-12)
+    tree.add_section("c", "a", 30.0, 3e-9, 3e-12)
+    return tree
+
+
+class TestConstruction:
+    def test_default_root_name(self):
+        assert RLCTree().root == "in"
+
+    def test_custom_root_name(self):
+        assert RLCTree("clk").root == "clk"
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(TopologyError):
+            RLCTree("")
+
+    def test_chaining(self):
+        tree = RLCTree().add_section("a", "in", 1.0).add_section("b", "a", 2.0)
+        assert tree.size == 2
+
+    def test_duplicate_name_rejected(self, small_tree):
+        with pytest.raises(TopologyError, match="duplicate"):
+            small_tree.add_section("a", "in", 1.0)
+
+    def test_root_name_collision_rejected(self):
+        tree = RLCTree()
+        with pytest.raises(TopologyError, match="duplicate"):
+            tree.add_section("in", "in", 1.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = RLCTree()
+        with pytest.raises(TopologyError, match="parent"):
+            tree.add_section("a", "nowhere", 1.0)
+
+    def test_prebuilt_section(self):
+        proto = Section(5.0, 1e-9, 1e-12)
+        tree = RLCTree().add_section("a", "in", section=proto)
+        assert tree.section("a") is proto
+
+    def test_replace_section(self, small_tree):
+        new = Section(99.0, 0.0, 1e-15)
+        small_tree.replace_section("b", new)
+        assert small_tree.section("b") == new
+
+    def test_replace_unknown_node_rejected(self, small_tree):
+        with pytest.raises(TopologyError):
+            small_tree.replace_section("zzz", Section(1.0))
+
+
+class TestQueries:
+    def test_size_and_len(self, small_tree):
+        assert small_tree.size == 3
+        assert len(small_tree) == 3
+
+    def test_contains(self, small_tree):
+        assert "a" in small_tree
+        assert "in" in small_tree
+        assert "zzz" not in small_tree
+
+    def test_nodes_in_insertion_order(self, small_tree):
+        assert small_tree.nodes == ("a", "b", "c")
+
+    def test_parent_child(self, small_tree):
+        assert small_tree.parent("b") == "a"
+        assert small_tree.children("a") == ("b", "c")
+        assert small_tree.children("in") == ("a",)
+
+    def test_parent_of_root_raises(self, small_tree):
+        with pytest.raises(TopologyError):
+            small_tree.parent("in")
+
+    def test_leaves(self, small_tree):
+        assert small_tree.leaves() == ("b", "c")
+        assert small_tree.is_leaf("b")
+        assert not small_tree.is_leaf("a")
+
+    def test_levels_and_depth(self, small_tree):
+        assert small_tree.level("a") == 1
+        assert small_tree.level("b") == 2
+        assert small_tree.level("in") == 0
+        assert small_tree.depth == 2
+        assert small_tree.levels() == [("a",), ("b", "c")]
+
+    def test_path_to(self, small_tree):
+        assert small_tree.path_to("b") == ("a", "b")
+        assert small_tree.path_to("a") == ("a",)
+
+    def test_common_path(self, small_tree):
+        assert small_tree.common_path("b", "c") == ("a",)
+        assert small_tree.common_path("b", "b") == ("a", "b")
+        assert small_tree.common_path("b", "a") == ("a",)
+
+    def test_subtree(self, small_tree):
+        assert set(small_tree.subtree("a")) == {"a", "b", "c"}
+        assert small_tree.subtree("b") == ("b",)
+
+    def test_unknown_node_raises_everywhere(self, small_tree):
+        for method in ("section", "parent", "path_to", "level", "subtree"):
+            with pytest.raises(TopologyError):
+                getattr(small_tree, method)("zzz")
+
+
+class TestTraversal:
+    def test_preorder_parent_first(self, small_tree):
+        order = list(small_tree.preorder())
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert sorted(order) == ["a", "b", "c"]
+
+    def test_postorder_children_first(self, small_tree):
+        order = list(small_tree.postorder())
+        assert order.index("b") < order.index("a")
+        assert order.index("c") < order.index("a")
+        assert sorted(order) == ["a", "b", "c"]
+
+    def test_traversals_cover_deep_tree(self, deep_balanced):
+        assert sorted(deep_balanced.preorder()) == sorted(deep_balanced.nodes)
+        assert sorted(deep_balanced.postorder()) == sorted(deep_balanced.nodes)
+
+
+class TestElectricalAggregates:
+    def test_total_capacitance(self, small_tree):
+        assert small_tree.total_capacitance() == pytest.approx(6e-12)
+
+    def test_downstream_capacitance(self, small_tree):
+        assert small_tree.downstream_capacitance("a") == pytest.approx(6e-12)
+        assert small_tree.downstream_capacitance("b") == pytest.approx(2e-12)
+
+    def test_path_resistance_and_inductance(self, small_tree):
+        assert small_tree.path_resistance("b") == pytest.approx(30.0)
+        assert small_tree.path_inductance("b") == pytest.approx(3e-9)
+
+    def test_is_rc(self, small_tree, rc_line):
+        assert not small_tree.is_rc()
+        assert rc_line.is_rc()
+
+
+class TestTransformations:
+    def test_scaled_preserves_topology(self, small_tree):
+        scaled = small_tree.scaled(2.0, 0.5, 3.0)
+        assert scaled.nodes == small_tree.nodes
+        assert scaled.section("b").resistance == pytest.approx(40.0)
+        assert scaled.section("b").inductance == pytest.approx(1e-9)
+        assert scaled.section("b").capacitance == pytest.approx(6e-12)
+
+    def test_scaled_does_not_mutate_original(self, small_tree):
+        small_tree.scaled(10.0)
+        assert small_tree.section("a").resistance == 10.0
+
+    def test_without_inductance(self, small_tree):
+        rc = small_tree.without_inductance()
+        assert rc.is_rc()
+        assert rc.section("a").resistance == small_tree.section("a").resistance
+        assert rc.section("a").capacitance == small_tree.section("a").capacitance
+
+    def test_map_sections_receives_names(self, small_tree):
+        seen = []
+
+        def spy(name, section):
+            seen.append(name)
+            return section
+
+        small_tree.map_sections(spy)
+        assert sorted(seen) == ["a", "b", "c"]

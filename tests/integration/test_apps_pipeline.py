@@ -1,0 +1,122 @@
+"""Integration tests: the apps layer against exact simulation.
+
+The apps optimize using the closed forms; these tests re-score their
+decisions with the exact solver, closing the loop the way a user would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    LineParameters,
+    RepeaterLibrary,
+    WireSizingProblem,
+    optimize_repeaters,
+    optimize_width,
+    stage_delay,
+)
+from repro.circuit import RLCTree, Section, distributed_line
+from repro.simulation import ExactSimulator, measure
+
+
+def simulate_delay(tree, node, points=8001, span=14.0):
+    simulator = ExactSimulator(tree)
+    t = simulator.time_grid(points=points, span_factor=span)
+    return measure(t, simulator.step_response(node, t)).delay_50
+
+
+def driver_plus_line(total_r, total_l, total_c, driver, load, sections=8):
+    line = distributed_line(total_r, total_l, total_c,
+                            num_sections=sections, load_capacitance=load)
+    tree = RLCTree(line.root)
+    tree.add_section("drv", line.root, section=Section(driver, 0.0, 1e-18))
+    for name in line.nodes:
+        parent = line.parent(name)
+        tree.add_section(
+            name, "drv" if parent == line.root else parent,
+            section=line.section(name),
+        )
+    return tree, f"n{sections}"
+
+
+class TestRepeaterStageAgainstSimulation:
+    @pytest.mark.parametrize("stages,size", [(2, 40.0), (4, 80.0)])
+    def test_stage_delay_tracks_exact(self, stages, size):
+        """The closed-form stage cost must track the simulated stage to
+        the model's usual accuracy class."""
+        line = LineParameters(resistance=300.0, inductance=4e-9,
+                              capacitance=2e-12)
+        library = RepeaterLibrary()
+        predicted = stage_delay(line, library, stages, size, "rlc")
+        tree, sink = driver_plus_line(
+            line.resistance / stages,
+            line.inductance / stages,
+            line.capacitance / stages,
+            library.output_resistance(size),
+            library.input_capacitance(size),
+        )
+        simulated = simulate_delay(tree, sink)
+        assert predicted == pytest.approx(simulated, rel=0.12)
+
+    def test_chosen_plan_beats_no_repeaters_in_simulation(self):
+        """The RC-line case where repeaters clearly pay: the optimized
+        stage, simulated exactly, must be faster than the unrepeated
+        line per unit length."""
+        line = LineParameters(resistance=600.0, inductance=0.5e-9,
+                              capacitance=3e-12)
+        library = RepeaterLibrary()
+        plan = optimize_repeaters(line, library, "rlc")
+        assert plan.count > 0
+        stages = plan.count + 1
+        stage_tree, stage_sink = driver_plus_line(
+            line.resistance / stages,
+            line.inductance / stages,
+            line.capacitance / stages,
+            library.output_resistance(plan.size),
+            library.input_capacitance(plan.size),
+        )
+        per_stage = simulate_delay(stage_tree, stage_sink)
+        whole_tree, whole_sink = driver_plus_line(
+            line.resistance, line.inductance, line.capacitance,
+            library.output_resistance(plan.size), 0.0, sections=16,
+        )
+        whole = simulate_delay(whole_tree, whole_sink)
+        total_repeated = stages * per_stage + plan.count * library.intrinsic_delay
+        assert total_repeated < whole
+
+
+class TestWireSizingAgainstSimulation:
+    def test_model_curve_tracks_simulated_curve(self):
+        """Delay-vs-width under the closed form and under simulation
+        must agree on shape (high rank correlation; exact ordering of
+        near-tied widths is inside the model's error bars)."""
+        from scipy import stats
+
+        problem = WireSizingProblem(num_sections=10)
+        widths = np.geomspace(problem.min_width, problem.max_width, 6)
+        model = []
+        simulated = []
+        for width in widths:
+            tree = problem.tree(float(width))
+            model.append(problem.delay(float(width)))
+            simulated.append(simulate_delay(tree, problem.sink()))
+        rho = stats.spearmanr(model, simulated).statistic
+        assert rho > 0.7
+        # And both curves agree the narrow end is the catastrophe.
+        assert np.argmax(model) == np.argmax(simulated) == 0
+
+    def test_optimum_is_simulated_near_optimum(self):
+        """The width the closed form picks must be within a few percent
+        of the best *simulated* delay over a fine sweep."""
+        problem = WireSizingProblem(num_sections=10)
+        chosen = optimize_width(problem).width
+        widths = np.geomspace(problem.min_width, problem.max_width, 12)
+        sim = {
+            float(w): simulate_delay(problem.tree(float(w)), problem.sink())
+            for w in widths
+        }
+        best_simulated = min(sim.values())
+        chosen_simulated = simulate_delay(
+            problem.tree(chosen), problem.sink()
+        )
+        assert chosen_simulated <= best_simulated * 1.05

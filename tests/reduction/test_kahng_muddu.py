@@ -1,0 +1,96 @@
+"""Unit tests for the Kahng-Muddu two-pole baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import exact_moments
+from repro.circuit import scale_tree_to_zeta, single_line
+from repro.errors import ReductionError
+from repro.reduction import KahngMudduModel, kahng_muddu_model
+from repro.simulation import ExactSimulator, measure
+
+
+class TestMomentMatching:
+    def test_from_moments_inverts(self):
+        model = KahngMudduModel(b1=1e-10, b2=2e-21)
+        m1 = -model.b1
+        m2 = model.b1**2 - model.b2
+        again = KahngMudduModel.from_moments(m1, m2)
+        assert again.b1 == pytest.approx(model.b1)
+        assert again.b2 == pytest.approx(model.b2)
+
+    def test_tree_model_matches_exact_m1_m2(self, fig8):
+        model = kahng_muddu_model(fig8, "out")
+        m = exact_moments(fig8, 2)["out"]
+        assert model.b1 == pytest.approx(-m[1])
+        assert model.b2 == pytest.approx(m[1] ** 2 - m[2])
+
+    def test_invalid_coefficients_rejected(self):
+        with pytest.raises(ReductionError):
+            KahngMudduModel(b1=-1e-10, b2=1e-21)
+        with pytest.raises(ReductionError):
+            KahngMudduModel(b1=1e-10, b2=-1e-21)
+
+    def test_unknown_node(self, fig8):
+        with pytest.raises(ReductionError):
+            kahng_muddu_model(fig8, "nope")
+
+
+class TestCaseDispatch:
+    """The three-formula structure the equivalent-Elmore paper removes."""
+
+    def test_single_rlc_section_cases(self):
+        def model_for(r):
+            line = single_line(1, resistance=r, inductance=1e-9,
+                               capacitance=1e-12)
+            return kahng_muddu_model(line, "n1")
+
+        # zeta = (R/2) sqrt(C/L): R = 20 -> 0.316 (complex),
+        # R = 63.2456 -> 1.0 (repeated), R = 200 -> 3.16 (real).
+        assert model_for(20.0).case == "complex"
+        assert model_for(200.0).case == "real"
+        critical_r = 2.0 * np.sqrt(1e-9 / 1e-12)
+        assert model_for(critical_r).case == "repeated"
+
+    def test_poles_match_case(self, fig5):
+        ringing = kahng_muddu_model(scale_tree_to_zeta(fig5, "n7", 0.4), "n7")
+        assert ringing.case == "complex"
+        p1, p2 = ringing.poles()
+        assert p1 == p2.conjugate()
+        damped = kahng_muddu_model(scale_tree_to_zeta(fig5, "n7", 3.0), "n7")
+        assert damped.case == "real"
+        assert all(abs(p.imag) < 1e-3 * abs(p.real) for p in damped.poles())
+
+
+class TestStepResponse:
+    @pytest.mark.parametrize("target_zeta", [0.4, 1.0, 2.5])
+    def test_limits(self, fig5, target_zeta):
+        model = kahng_muddu_model(
+            scale_tree_to_zeta(fig5, "n7", target_zeta), "n7"
+        )
+        t = np.linspace(0, 30 * model.dominant_time_constant(), 3000)
+        v = model.step_response(t)
+        assert v[0] == pytest.approx(0.0, abs=1e-9)
+        assert v[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_continuity_across_cases(self, fig5):
+        """Responses just each side of critical damping must agree —
+        verifying the three formulae agree at their seams."""
+        base = kahng_muddu_model(scale_tree_to_zeta(fig5, "n7", 1.0), "n7")
+        t = np.linspace(0, 10 * base.dominant_time_constant(), 500)
+        just_under = KahngMudduModel(b1=base.b1, b2=base.b1**2 / 4 * (1 - 1e-6))
+        just_over = KahngMudduModel(b1=base.b1, b2=base.b1**2 / 4 * (1 + 1e-6))
+        np.testing.assert_allclose(
+            just_under.step_response(t), just_over.step_response(t), atol=1e-4
+        )
+
+    def test_delay_reasonable_vs_exact(self, fig8):
+        sim = ExactSimulator(fig8)
+        t = sim.time_grid(points=8001, span_factor=14.0)
+        reference = measure(t, sim.step_response("out", t)).delay_50
+        model = kahng_muddu_model(fig8, "out")
+        assert model.delay_50() == pytest.approx(reference, rel=0.25)
+
+    def test_rise_time_positive(self, fig8):
+        model = kahng_muddu_model(fig8, "out")
+        assert model.rise_time() > 0

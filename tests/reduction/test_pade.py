@@ -1,0 +1,166 @@
+"""Unit tests for the Pade-from-moments machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReductionError
+from repro.reduction import PoleResidueModel, pade_poles_residues
+
+
+def moments_of(poles, residues, count):
+    """m_j = -sum r / p^(j+1): build a moment list from a known model."""
+    poles = np.asarray(poles, dtype=complex)
+    residues = np.asarray(residues, dtype=complex)
+    return [
+        float(np.real((-residues / poles ** (j + 1)).sum())) for j in range(count)
+    ]
+
+
+def unit_gain_residues(poles):
+    """Residues of H = prod(-p_k) / prod(s - p_k): unit dc gain."""
+    poles = np.asarray(poles, dtype=complex)
+    numerator = np.prod(-poles)
+    out = []
+    for i, p in enumerate(poles):
+        others = np.delete(poles, i)
+        out.append(numerator / np.prod(p - others))
+    return np.asarray(out)
+
+
+class TestRecovery:
+    """Pade must exactly recover a model from its own moments."""
+
+    def test_two_real_poles(self):
+        # H = p1 p2 / ((s - p1)(s - p2)): unit dc gain, two real poles.
+        poles = [-1e9, -5e9]
+        residues = [1.25e9, -1.25e9]
+        m = moments_of(poles, residues, 4)
+        assert m[0] == pytest.approx(1.0)
+        model = pade_poles_residues(m, 2)
+        assert sorted(p.real for p in model.poles) == pytest.approx(
+            sorted(poles), rel=1e-6
+        )
+
+    def test_complex_pair(self):
+        poles = np.array([-1e9 + 4e9j, -1e9 - 4e9j])
+        # Residues for unit DC gain of the canonical 2nd-order system.
+        wn2 = abs(poles[0]) ** 2
+        r = wn2 / (poles[0] - poles[1])
+        residues = np.array([r, -r])
+        m = moments_of(poles, residues, 4)
+        model = pade_poles_residues(m, 2)
+        recovered = sorted(model.poles, key=lambda p: p.imag)
+        expected = sorted(poles, key=lambda p: p.imag)
+        for a, b in zip(recovered, expected):
+            assert a == pytest.approx(b, rel=1e-6)
+        assert model.dc_gain() == pytest.approx(1.0, rel=1e-6)
+
+    def test_three_poles(self):
+        poles = [-0.5e9, -2e9, -8e9]
+        residues = unit_gain_residues(poles)
+        m = moments_of(poles, residues, 6)
+        assert m[0] == pytest.approx(1.0)
+        model = pade_poles_residues(m, 3)
+        assert sorted(p.real for p in model.poles) == pytest.approx(
+            sorted(poles), rel=1e-5
+        )
+
+    def test_model_moments_round_trip(self):
+        poles = [-1e9, -3e9]
+        residues = unit_gain_residues(poles)
+        m = moments_of(poles, residues, 6)
+        model = pade_poles_residues(m, 2)
+        np.testing.assert_allclose(model.moments(5), m, rtol=1e-6)
+
+
+class TestStabilityHandling:
+    def test_unstable_moments_flagged(self):
+        # A RHP pole produces an unstable Pade model.
+        poles = [-1e9, 2e9]
+        residues = unit_gain_residues(poles)
+        m = moments_of(poles, residues, 4)
+        model = pade_poles_residues(m, 2)
+        assert not model.is_stable()
+
+    def test_stable_only_filters(self):
+        poles = [-1e9, 2e9]
+        residues = unit_gain_residues(poles)
+        m = moments_of(poles, residues, 4)
+        model = pade_poles_residues(m, 2, stable_only=True)
+        assert model.is_stable()
+        assert model.order == 1
+
+    def test_unstable_step_response_raises(self):
+        model = PoleResidueModel(poles=(2e9 + 0j,), residues=(1e9 + 0j,))
+        t = np.linspace(0, 1e-6, 100)
+        with pytest.raises(ReductionError, match="unstable"):
+            model.step_response(t)
+
+
+class TestValidation:
+    def test_insufficient_moments(self):
+        with pytest.raises(ReductionError, match="need 4 moments"):
+            pade_poles_residues([1.0, -1e-10, 1e-20], 2)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ReductionError, match="normalized"):
+            pade_poles_residues([2.0, -1e-10, 1e-20, -1e-30], 2)
+
+    def test_positive_m1_rejected(self):
+        with pytest.raises(ReductionError, match="m_1"):
+            pade_poles_residues([1.0, 1e-10, 1e-20, 1e-30], 2)
+
+    def test_order_zero_rejected(self):
+        with pytest.raises(ReductionError):
+            pade_poles_residues([1.0, -1e-10], 0)
+
+    def test_singular_for_degenerate_system(self):
+        # Moments of a pure single pole cannot support a 2-pole fit.
+        m = moments_of([-1e9], unit_gain_residues([-1e9]), 4)
+        with pytest.raises(ReductionError, match="singular|fewer"):
+            pade_poles_residues(m, 2)
+
+
+class TestPoleResidueModel:
+    @pytest.fixture
+    def model(self):
+        # Canonical underdamped pair, unit dc gain.
+        poles = np.array([-1e9 + 3e9j, -1e9 - 3e9j])
+        wn2 = abs(poles[0]) ** 2
+        r = wn2 / (poles[0] - poles[1])
+        return PoleResidueModel(
+            poles=tuple(poles), residues=(complex(r), complex(-r))
+        )
+
+    def test_dc_gain(self, model):
+        assert model.dc_gain() == pytest.approx(1.0)
+
+    def test_step_response_limits(self, model):
+        t = np.linspace(0, 2e-8, 2000)
+        v = model.step_response(t)
+        assert v[0] == pytest.approx(0.0, abs=1e-9)
+        assert v[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_impulse_is_step_slope(self, model):
+        t = np.linspace(0, 1e-8, 20001)
+        numeric = np.gradient(model.step_response(t), t)
+        analytic = model.impulse_response(t)
+        np.testing.assert_allclose(
+            analytic[5:-5], numeric[5:-5], atol=3e-3 * np.abs(analytic).max()
+        )
+
+    def test_transfer_function_at_origin(self, model):
+        assert complex(model.transfer_function(0.0)).real == pytest.approx(
+            model.dc_gain()
+        )
+
+    def test_dominant_time_constant(self, model):
+        assert model.dominant_time_constant() == pytest.approx(1e-9)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReductionError):
+            PoleResidueModel(poles=(-1e9 + 0j,), residues=())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReductionError):
+            PoleResidueModel(poles=(), residues=())

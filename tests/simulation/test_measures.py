@@ -1,0 +1,174 @@
+"""Unit tests for waveform metrology, using analytically known waveforms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    delay_50,
+    find_extrema,
+    max_error,
+    measure,
+    overshoots,
+    rise_time_10_90,
+    rms_error,
+    settling_time,
+    threshold_crossing,
+)
+
+
+@pytest.fixture
+def exp_waveform():
+    """v = 1 - exp(-t), tau = 1: every metric known in closed form."""
+    t = np.linspace(0, 15.0, 30001)
+    return t, 1.0 - np.exp(-t)
+
+
+@pytest.fixture
+def ringing_waveform():
+    """Damped cosine around 1: v = 1 - exp(-a t) cos(w t)."""
+    a, w = 0.4, 2 * math.pi
+    t = np.linspace(0, 20.0, 80001)
+    return t, 1.0 - np.exp(-a * t) * np.cos(w * t), a, w
+
+
+class TestThresholdCrossing:
+    def test_exponential_crossings(self, exp_waveform):
+        t, v = exp_waveform
+        assert threshold_crossing(t, v, 0.5) == pytest.approx(math.log(2), rel=1e-6)
+        assert threshold_crossing(t, v, 0.9) == pytest.approx(math.log(10), rel=1e-6)
+
+    def test_no_crossing_returns_none(self, exp_waveform):
+        t, v = exp_waveform
+        assert threshold_crossing(t, v, 1.5) is None
+
+    def test_already_above(self, exp_waveform):
+        t, v = exp_waveform
+        assert threshold_crossing(t, v + 1.0, 0.5) == t[0]
+
+    def test_falling_crossing(self):
+        t = np.linspace(0, 5, 1000)
+        v = np.exp(-t)
+        assert threshold_crossing(t, v, 0.5, rising=False) == pytest.approx(
+            math.log(2), rel=1e-4
+        )
+
+    def test_interpolation_between_samples(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([0.0, 1.0])
+        assert threshold_crossing(t, v, 0.25) == pytest.approx(0.25)
+
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            threshold_crossing(np.zeros(3), np.zeros(4), 0.5)
+        with pytest.raises(SimulationError):
+            threshold_crossing(np.zeros(1), np.zeros(1), 0.5)
+
+
+class TestDelayAndRise:
+    def test_exponential_delay(self, exp_waveform):
+        t, v = exp_waveform
+        assert delay_50(t, v) == pytest.approx(math.log(2), rel=1e-6)
+
+    def test_exponential_rise(self, exp_waveform):
+        t, v = exp_waveform
+        assert rise_time_10_90(t, v) == pytest.approx(math.log(9), rel=1e-6)
+
+    def test_respects_final_value(self, exp_waveform):
+        t, v = exp_waveform
+        assert delay_50(t, 2 * v, final_value=2.0) == pytest.approx(
+            math.log(2), rel=1e-6
+        )
+
+    def test_unreached_delay_raises(self):
+        t = np.linspace(0, 0.1, 50)
+        v = 1.0 - np.exp(-t)
+        with pytest.raises(SimulationError, match="never reaches"):
+            delay_50(t, v)
+
+
+class TestExtremaAndOvershoots:
+    def test_damped_cosine_extrema(self, ringing_waveform):
+        t, v, a, w = ringing_waveform
+        extrema = find_extrema(t, v)
+        # Extrema near t = k/2 (cosine turning points, slightly shifted
+        # by the decaying envelope).
+        assert len(extrema) > 5
+        first = extrema[0]
+        assert first[2] == "max"
+        assert first[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_overshoot_values_match_envelope(self, ringing_waveform):
+        t, v, a, w = ringing_waveform
+        peaks = overshoots(t, v, final_value=1.0)
+        # Peak k at ~ t_k has |v - 1| ~ exp(-a t_k)
+        for k, (time, value) in enumerate(peaks[:4]):
+            expected = (-1) ** k * math.exp(-a * time)
+            assert value - 1.0 == pytest.approx(expected, rel=5e-2)
+
+    def test_overshoots_alternate(self, ringing_waveform):
+        t, v, _, _ = ringing_waveform
+        peaks = overshoots(t, v)
+        signs = [math.copysign(1, value - 1.0) for _, value in peaks]
+        assert signs == [(-1) ** k for k in range(len(signs))]
+
+    def test_monotone_waveform_has_no_overshoots(self, exp_waveform):
+        t, v = exp_waveform
+        assert overshoots(t, v) == []
+
+
+class TestSettling:
+    def test_damped_cosine_settling(self, ringing_waveform):
+        t, v, a, w = ringing_waveform
+        # Envelope exp(-a t) crosses 0.1 at t = ln(10)/a; the measured
+        # settle is at the last actual band exit, within half a period.
+        measured = settling_time(t, v, final_value=1.0, band=0.1)
+        assert measured <= math.log(10) / a
+        assert measured >= math.log(10) / a - 0.5 / (w / (2 * math.pi))
+
+    def test_already_settled(self, exp_waveform):
+        t, v = exp_waveform
+        assert settling_time(t, np.ones_like(v)) == 0.0
+
+    def test_unsettled_raises(self):
+        t = np.linspace(0, 1, 100)
+        v = t.copy()  # still rising at the end
+        with pytest.raises(SimulationError, match="not settled"):
+            settling_time(t, v, final_value=2.0)
+
+
+class TestMeasureBundle:
+    def test_all_metrics_present(self, ringing_waveform):
+        t, v, a, w = ringing_waveform
+        metrics = measure(t, v)
+        assert metrics.delay_50 > 0
+        assert metrics.rise_time > 0
+        assert len(metrics.overshoots) > 2
+        assert metrics.settling_time > metrics.delay_50
+        assert metrics.first_overshoot_fraction == pytest.approx(
+            math.exp(-a * 0.5), rel=0.1
+        )
+
+    def test_monotone_overshoot_fraction_is_none(self, exp_waveform):
+        t, v = exp_waveform
+        assert measure(t, v).first_overshoot_fraction is None
+
+
+class TestErrorNorms:
+    def test_rms(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rms_error(a, b) == pytest.approx(1.0)
+
+    def test_max(self):
+        a = np.zeros(3)
+        b = np.array([0.1, -0.5, 0.2])
+        assert max_error(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            rms_error(np.zeros(3), np.zeros(4))
+        with pytest.raises(SimulationError):
+            max_error(np.zeros(3), np.zeros(4))

@@ -1,0 +1,126 @@
+"""Unit tests for input source waveforms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    ExponentialSource,
+    PWLSource,
+    RampSource,
+    StepSource,
+)
+
+
+class TestStepSource:
+    def test_values(self):
+        src = StepSource(amplitude=2.5)
+        assert src(-1e-9) == 0.0
+        assert src(0.0) == 2.5
+        assert src(1e-9) == 2.5
+
+    def test_delay(self):
+        src = StepSource(amplitude=1.0, delay=1e-9)
+        assert src(0.5e-9) == 0.0
+        assert src(1.5e-9) == 1.0
+
+    def test_vectorized(self):
+        src = StepSource()
+        t = np.array([-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(src(t), [0.0, 1.0, 1.0])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            StepSource(delay=-1.0)
+
+    def test_final_value(self):
+        assert StepSource(amplitude=3.3).final_value == 3.3
+
+
+class TestRampSource:
+    def test_linear_region(self):
+        src = RampSource(amplitude=1.0, rise_time=2e-9)
+        assert src(1e-9) == pytest.approx(0.5)
+        assert src(2e-9) == pytest.approx(1.0)
+        assert src(5e-9) == pytest.approx(1.0)
+
+    def test_zero_rise_time_rejected(self):
+        with pytest.raises(SimulationError):
+            RampSource(rise_time=0.0)
+
+    def test_ramp_segments_reconstruct(self):
+        src = RampSource(amplitude=2.0, rise_time=1e-9, delay=0.5e-9)
+        segments = src.ramp_segments()
+        t = np.linspace(0, 4e-9, 200)
+        rebuilt = np.zeros_like(t)
+        for start, slope in segments:
+            rebuilt += slope * np.maximum(t - start, 0.0)
+        np.testing.assert_allclose(rebuilt, src(t), atol=1e-12)
+
+
+class TestExponentialSource:
+    def test_asymptote(self):
+        src = ExponentialSource(amplitude=1.0, tau=1e-9)
+        assert src(20e-9) == pytest.approx(1.0, abs=1e-8)
+
+    def test_tau_value(self):
+        src = ExponentialSource(tau=1e-9)
+        assert src(1e-9) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_rise_time_90(self):
+        src = ExponentialSource(tau=1e-9)
+        assert src(src.rise_time_90) == pytest.approx(0.9)
+
+    def test_from_rise_time(self):
+        src = ExponentialSource.from_rise_time(2.3e-9)
+        assert src.rise_time_90 == pytest.approx(2.3e-9)
+        assert src.tau == pytest.approx(2.3e-9 / math.log(10.0))
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(SimulationError):
+            ExponentialSource(tau=-1e-9)
+        with pytest.raises(SimulationError):
+            ExponentialSource.from_rise_time(0.0)
+
+
+class TestPWLSource:
+    def test_interpolation(self):
+        src = PWLSource.from_points([(0.0, 0.0), (1e-9, 1.0), (3e-9, 0.5)])
+        assert src(0.5e-9) == pytest.approx(0.5)
+        assert src(2e-9) == pytest.approx(0.75)
+        assert src(10e-9) == pytest.approx(0.5)
+
+    def test_final_value(self):
+        src = PWLSource.from_points([(0.0, 0.0), (1e-9, 2.0)])
+        assert src.final_value == 2.0
+
+    def test_needs_points(self):
+        with pytest.raises(SimulationError):
+            PWLSource(points=())
+
+    def test_times_must_increase(self):
+        with pytest.raises(SimulationError):
+            PWLSource.from_points([(1e-9, 1.0), (1e-9, 2.0)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            PWLSource.from_points([(-1e-9, 0.0), (1e-9, 1.0)])
+
+    def test_ramp_segments_reconstruct(self):
+        src = PWLSource.from_points([(0.0, 0.0), (1e-9, 1.0), (2e-9, 0.2), (4e-9, 0.2)])
+        t = np.linspace(0, 6e-9, 400)
+        rebuilt = np.zeros_like(t)
+        for start, slope in src.ramp_segments():
+            rebuilt += slope * np.maximum(t - start, 0.0)
+        np.testing.assert_allclose(rebuilt, src(t), atol=1e-12)
+
+    def test_ramp_segments_with_leading_offset(self):
+        # First point at t > 0: waveform ramps from 0 to the first point.
+        src = PWLSource.from_points([(1e-9, 1.0), (2e-9, 1.0)])
+        t = np.linspace(0, 5e-9, 300)
+        rebuilt = np.zeros_like(t)
+        for start, slope in src.ramp_segments():
+            rebuilt += slope * np.maximum(t - start, 0.0)
+        np.testing.assert_allclose(rebuilt, src(t), atol=1e-12)

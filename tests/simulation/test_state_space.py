@@ -1,0 +1,127 @@
+"""Unit tests for the state-space assembly."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import RLCTree, Section, single_line
+from repro.errors import SimulationError
+from repro.simulation import build_state_space, ensure_positive_capacitance
+
+
+class TestDimensions:
+    def test_full_rlc_order(self, fig5):
+        space = build_state_space(fig5)
+        # 7 capacitor voltages + 7 inductor currents
+        assert space.order == 14
+        assert space.a.shape == (14, 14)
+        assert space.b.shape == (14,)
+
+    def test_rc_tree_order(self, rc_line):
+        space = build_state_space(rc_line)
+        assert space.order == 5  # no inductor states
+        assert not space.inductor_index
+
+    def test_mixed_tree_order(self):
+        tree = RLCTree()
+        tree.add_section("a", "in", section=Section(10.0, 1e-9, 1e-12))
+        tree.add_section("b", "a", section=Section(10.0, 0.0, 1e-12))
+        space = build_state_space(tree)
+        assert space.order == 3
+        assert set(space.inductor_index) == {"a"}
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(SimulationError):
+            build_state_space(RLCTree())
+
+    def test_zero_capacitance_rejected(self):
+        tree = RLCTree().add_section("a", "in", section=Section(10.0, 1e-9, 0.0))
+        with pytest.raises(SimulationError, match="zero capacitance"):
+            build_state_space(tree)
+
+
+class TestSingleSectionAnalytic:
+    """One RLC section has the textbook series-RLC state matrix."""
+
+    R, L, C = 10.0, 2e-9, 1e-12
+
+    @pytest.fixture
+    def space(self):
+        return build_state_space(
+            single_line(1, resistance=self.R, inductance=self.L, capacitance=self.C)
+        )
+
+    def test_matrix_entries(self, space):
+        k = space.node_index["n1"]
+        j = space.inductor_index["n1"]
+        a = space.a
+        assert a[k, k] == 0.0
+        assert a[k, j] == pytest.approx(1.0 / self.C)
+        assert a[j, k] == pytest.approx(-1.0 / self.L)
+        assert a[j, j] == pytest.approx(-self.R / self.L)
+        assert space.b[j] == pytest.approx(1.0 / self.L)
+        assert space.b[k] == 0.0
+
+    def test_char_poly_matches_rlc(self, space):
+        # eigenvalues solve s^2 + (R/L) s + 1/(LC) = 0
+        eig = np.linalg.eigvals(space.a)
+        poly = np.poly(eig)  # s^2 + c1 s + c0
+        assert poly[1] == pytest.approx(self.R / self.L)
+        assert poly[2] == pytest.approx(1.0 / (self.L * self.C))
+
+
+class TestPhysicalStructure:
+    def test_dc_steady_state_is_input(self, fig5):
+        # x_ss = -A^-1 b * u: all node voltages equal u, all currents 0.
+        space = build_state_space(fig5)
+        x_ss = -np.linalg.solve(space.a, space.b)
+        for node, k in space.node_index.items():
+            assert x_ss[k] == pytest.approx(1.0), node
+        for node, j in space.inductor_index.items():
+            assert x_ss[j] == pytest.approx(0.0, abs=1e-9), node
+
+    def test_all_poles_stable(self, fig8):
+        space = build_state_space(fig8)
+        eig = np.linalg.eigvals(space.a)
+        assert np.all(eig.real < 0.0)
+
+    def test_rc_tree_poles_real(self, rc_line):
+        eig = np.linalg.eigvals(build_state_space(rc_line).a)
+        assert np.all(np.abs(eig.imag) < 1e-6 * np.abs(eig.real))
+        assert np.all(eig.real < 0.0)
+
+    def test_output_row_selects_voltage(self, fig5):
+        space = build_state_space(fig5)
+        row = space.output_row("n3")
+        assert row[space.node_index["n3"]] == 1.0
+        assert np.count_nonzero(row) == 1
+
+    def test_output_matrix_stacks(self, fig5):
+        space = build_state_space(fig5)
+        matrix = space.output_matrix(["n1", "n7"])
+        assert matrix.shape == (2, 14)
+
+    def test_unknown_output_rejected(self, fig5):
+        with pytest.raises(SimulationError):
+            build_state_space(fig5).output_row("zzz")
+
+
+class TestEnsurePositiveCapacitance:
+    def test_no_change_when_all_positive(self, fig5):
+        assert ensure_positive_capacitance(fig5) is fig5
+
+    def test_floor_applied(self):
+        tree = RLCTree().add_section("a", "in", section=Section(10.0, 0.0, 0.0))
+        fixed = ensure_positive_capacitance(tree, floor=1e-18)
+        assert fixed.section("a").capacitance == 1e-18
+        build_state_space(fixed)  # now simulatable
+
+    def test_positive_nodes_untouched(self):
+        tree = RLCTree()
+        tree.add_section("a", "in", section=Section(10.0, 0.0, 0.0))
+        tree.add_section("b", "a", section=Section(5.0, 0.0, 2e-12))
+        fixed = ensure_positive_capacitance(tree)
+        assert fixed.section("b").capacitance == 2e-12
+
+    def test_bad_floor_rejected(self, fig5):
+        with pytest.raises(SimulationError):
+            ensure_positive_capacitance(fig5, floor=0.0)

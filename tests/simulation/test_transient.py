@@ -1,0 +1,119 @@
+"""Unit tests for the trapezoidal integrator, cross-checked against the
+independent exact (modal) solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    ExactSimulator,
+    ExponentialSource,
+    PWLSource,
+    RampSource,
+    StepSource,
+    TrapezoidalSimulator,
+    rms_error,
+    simulate_transient,
+)
+
+
+class TestCrossCheckAgainstExact:
+    """The two engines share nothing past the state-space assembly, so
+    agreement validates both."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            StepSource(),
+            ExponentialSource(tau=2e-10),
+            RampSource(rise_time=5e-10),
+            PWLSource.from_points([(0.0, 0.0), (3e-10, 1.0), (6e-10, 0.4)]),
+        ],
+        ids=["step", "exp", "ramp", "pwl"],
+    )
+    def test_fig5_agreement(self, fig5, source):
+        exact = ExactSimulator(fig5)
+        t = exact.time_grid(points=6001)
+        reference = exact.response(source, "n7", t)
+        candidate = TrapezoidalSimulator(fig5).run(source, "n7", t)
+        assert rms_error(reference, candidate) < 1e-4
+
+    def test_fig8_multi_node_agreement(self, fig8):
+        exact = ExactSimulator(fig8)
+        t = exact.time_grid(points=6001)
+        nodes = ["n1", "out", "n7"]
+        reference = exact.step_response(nodes, t)
+        candidate = TrapezoidalSimulator(fig8).run(StepSource(), nodes, t)
+        assert candidate.shape == reference.shape
+        for row in range(len(nodes)):
+            assert rms_error(reference[row], candidate[row]) < 1e-4
+
+    def test_rc_tree_agreement(self, rc_line):
+        exact = ExactSimulator(rc_line)
+        t = exact.time_grid(points=4001)
+        reference = exact.step_response("n5", t)
+        candidate = TrapezoidalSimulator(rc_line).run(StepSource(), "n5", t)
+        assert rms_error(reference, candidate) < 1e-5
+
+
+class TestConvergence:
+    def test_second_order_in_step_size(self, line3):
+        """Halving h should cut the error ~4x (trapezoidal is O(h^2))."""
+        exact = ExactSimulator(line3)
+        t_end = exact.settle_time_estimate() / 2
+        trap = TrapezoidalSimulator(line3)
+        errors = []
+        for points in (501, 1001, 2001):
+            t = np.linspace(0, t_end, points)
+            reference = exact.step_response("n3", t)
+            candidate = trap.run(StepSource(), "n3", t)
+            errors.append(rms_error(reference, candidate))
+        ratio1 = errors[0] / errors[1]
+        ratio2 = errors[1] / errors[2]
+        assert 3.0 < ratio1 < 5.0
+        assert 3.0 < ratio2 < 5.0
+
+
+class TestInterface:
+    def test_arbitrary_callable_source(self, line3):
+        trap = TrapezoidalSimulator(line3)
+        exact = ExactSimulator(line3)
+        t = exact.time_grid(points=4001)
+        # A shape the exact solver doesn't support analytically.
+        tau = t[-1] / 8
+
+        def wobble(time):
+            return 1.0 - np.exp(-time / tau) * np.cos(3 * time / tau)
+
+        v = trap.run(wobble, "n3", t)
+        assert v[-1] == pytest.approx(wobble(t[-1]), rel=2e-2)
+
+    def test_nonuniform_grid_rejected(self, line3):
+        t = np.array([0.0, 1e-10, 3e-10])
+        with pytest.raises(SimulationError, match="uniform"):
+            TrapezoidalSimulator(line3).run(StepSource(), "n3", t)
+
+    def test_tiny_grid_rejected(self, line3):
+        with pytest.raises(SimulationError):
+            TrapezoidalSimulator(line3).run(StepSource(), "n3", np.array([0.0]))
+
+    def test_factorization_reused_and_refreshed(self, line3):
+        trap = TrapezoidalSimulator(line3)
+        t1 = np.linspace(0, 1e-9, 101)
+        t2 = np.linspace(0, 1e-9, 201)
+        v1a = trap.run(StepSource(), "n3", t1)
+        v2 = trap.run(StepSource(), "n3", t2)  # different h: refactor
+        v1b = trap.run(StepSource(), "n3", t1)  # back to first h
+        np.testing.assert_allclose(v1a, v1b)
+        assert v2.size == 201
+
+    def test_simulate_transient_helper(self, line3):
+        t, v = simulate_transient(line3, StepSource(), "n3", t_end=5e-9, steps=500)
+        assert t.shape == v.shape == (501,)
+        assert t[-1] == pytest.approx(5e-9)
+
+    def test_simulate_transient_validation(self, line3):
+        with pytest.raises(SimulationError):
+            simulate_transient(line3, StepSource(), "n3", t_end=0.0)
+        with pytest.raises(SimulationError):
+            simulate_transient(line3, StepSource(), "n3", t_end=1e-9, steps=1)

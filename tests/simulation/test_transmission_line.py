@@ -1,0 +1,163 @@
+"""Unit tests for the distributed transmission-line reference model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import SecondOrderModel
+from repro.errors import SimulationError
+from repro.simulation import (
+    ExactSimulator,
+    TransmissionLine,
+    rms_error,
+    talbot_inverse_laplace,
+)
+
+
+@pytest.fixture(scope="module")
+def clock_line():
+    """A 5-mm wide clock wire with driver and receiver load."""
+    return TransmissionLine(
+        resistance=6.6e3,
+        inductance=0.36e-6,
+        capacitance=0.16e-9,
+        length=5e-3,
+        source_resistance=30.0,
+        load_capacitance=50e-15,
+    )
+
+
+class TestTalbotInversion:
+    """The inverter against transforms with known inverses."""
+
+    def test_unit_step(self):
+        t = np.linspace(0.1, 5.0, 20)
+        values = talbot_inverse_laplace(lambda s: 1.0 / s, t)
+        np.testing.assert_allclose(values, 1.0, atol=1e-4)
+
+    def test_exponential(self):
+        t = np.linspace(0.1, 5.0, 20)
+        values = talbot_inverse_laplace(lambda s: 1.0 / (s * (s + 2.0)), t)
+        np.testing.assert_allclose(values, (1 - np.exp(-2 * t)) / 2, atol=1e-4)
+
+    def test_ringing_second_order(self):
+        """Even a zeta = 0.1 ringing response inverts to ~1e-6."""
+        model = SecondOrderModel(zeta=0.1, omega_n=1.0)
+        t = np.linspace(0.1, 30.0, 40)
+        values = talbot_inverse_laplace(
+            lambda s: complex(model.transfer_function(s)) / s, t
+        )
+        np.testing.assert_allclose(values, model.step_response(t), atol=1e-5)
+
+    def test_negative_time_is_zero(self):
+        values = talbot_inverse_laplace(lambda s: 1.0 / s, np.array([-1.0, 0.0]))
+        np.testing.assert_array_equal(values, [0.0, 0.0])
+
+    def test_too_few_terms_rejected(self):
+        with pytest.raises(SimulationError):
+            talbot_inverse_laplace(lambda s: 1.0 / s, np.array([1.0]), terms=4)
+
+
+class TestPhysicalStructure:
+    def test_constants(self, clock_line):
+        assert clock_line.time_of_flight == pytest.approx(
+            5e-3 * math.sqrt(0.36e-6 * 0.16e-9)
+        )
+        assert clock_line.characteristic_impedance == pytest.approx(
+            math.sqrt(0.36e-6 / 0.16e-9)
+        )
+        assert 0.0 < clock_line.attenuation < 1.0
+
+    def test_dc_gain_unity(self, clock_line):
+        assert abs(complex(clock_line.transfer_function(1.0))) == pytest.approx(
+            1.0, rel=1e-6
+        )
+
+    def test_highband_rolloff(self, clock_line):
+        # A distributed line's attenuation saturates at exp(-R/(2 Z0));
+        # the remaining roll-off comes from the load capacitance, so the
+        # decay is gentler than any lumped ladder's.
+        low = abs(clock_line.frequency_response(np.array([1e9]))[0])
+        high = abs(clock_line.frequency_response(np.array([1e12]))[0])
+        assert high < 0.3 * low
+        assert high > clock_line.attenuation * 1e-3  # saturation floor
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TransmissionLine(1.0, 0.0, 1e-9, 1e-3)  # no inductance
+        with pytest.raises(SimulationError):
+            TransmissionLine(1.0, 1e-6, 1e-9, -1.0)
+        with pytest.raises(SimulationError):
+            TransmissionLine(-1.0, 1e-6, 1e-9, 1e-3)
+
+
+class TestStepResponse:
+    def test_causality(self, clock_line):
+        """Nothing (beyond inversion noise) arrives before the time of
+        flight — the distributed behaviour no lumped model reproduces."""
+        t = clock_line.time_grid(points=400)
+        v = clock_line.step_response(t)
+        early = v[t < 0.9 * clock_line.time_of_flight]
+        assert np.max(np.abs(early)) < 0.02
+
+    def test_settles_to_supply(self, clock_line):
+        t = clock_line.time_grid(flights=40.0, points=300)
+        v = clock_line.step_response(t, amplitude=1.5)
+        assert v[-1] == pytest.approx(1.5, rel=1e-4)
+
+    def test_low_loss_first_arrival_magnitude(self):
+        """For a matched-ish low-loss line the first plateau is about
+        2 * atten * Z0 / (Z0 + Rs) (transmission into an open end is
+        doubled, minus resistive attenuation)."""
+        line = TransmissionLine(
+            resistance=500.0,
+            inductance=0.4e-6,
+            capacitance=0.16e-9,
+            length=5e-3,
+            source_resistance=50.0,
+            load_capacitance=0.0,
+        )
+        t = np.array([1.5 * line.time_of_flight])
+        v = float(line.step_response(t)[0])
+        z0 = line.characteristic_impedance
+        launch = z0 / (z0 + 50.0)
+        expected = 2.0 * launch * line.attenuation
+        assert v == pytest.approx(expected, rel=0.05)
+
+
+class TestLumpedConvergence:
+    def test_ladder_converges_to_distributed(self, clock_line):
+        t = clock_line.time_grid(points=250)
+        reference = clock_line.step_response(t)
+        errors = []
+        for sections in (5, 20, 80):
+            ladder = clock_line.lumped_ladder(sections)
+            simulator = ExactSimulator(ladder)
+            waveform = simulator.step_response(
+                clock_line.sink_name(sections), t
+            )
+            errors.append(rms_error(reference, waveform))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 0.01
+
+    def test_frequency_response_agreement(self, clock_line):
+        """In-band (up to ~1/tof) a 40-section ladder matches the
+        distributed |H| to a couple of percent."""
+        ladder = clock_line.lumped_ladder(40)
+        simulator = ExactSimulator(ladder)
+        frequencies = np.linspace(1e8, 0.5 / clock_line.time_of_flight, 40)
+        distributed = np.abs(clock_line.frequency_response(frequencies))
+        lumped = np.abs(
+            simulator.frequency_response(clock_line.sink_name(40), frequencies)
+        )
+        np.testing.assert_allclose(lumped, distributed, rtol=0.05)
+
+    def test_lumped_ladder_without_driver(self):
+        line = TransmissionLine(
+            resistance=1e3, inductance=0.4e-6, capacitance=0.16e-9,
+            length=2e-3, source_resistance=0.0,
+        )
+        ladder = line.lumped_ladder(10)
+        assert "drv" not in ladder
+        assert ladder.size == 10

@@ -1,0 +1,190 @@
+"""Unit tests for the command-line interface (driven in-process)."""
+
+import pytest
+
+from repro.circuit import dumps, fig5_tree, fig8_tree
+from repro.cli import main
+
+
+@pytest.fixture
+def netlist_path(tmp_path):
+    path = tmp_path / "net.sp"
+    path.write_text(dumps(fig8_tree()))
+    return str(path)
+
+
+@pytest.fixture
+def fig5_path(tmp_path):
+    path = tmp_path / "fig5.sp"
+    path.write_text(dumps(fig5_tree()))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_table_lists_all_nodes(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path]) == 0
+        out = capsys.readouterr().out
+        for node in fig8_tree().nodes:
+            assert node in out
+        assert "zeta" in out
+
+    def test_node_filter(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--node", "out"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 2  # header + one row
+        assert "out" in lines[1]
+
+    def test_csv_output(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--csv"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("node,zeta,")
+        assert len(out) == 1 + len(fig8_tree().nodes)
+        fields = out[1].split(",")
+        assert len(fields) == 8
+        float(fields[1])  # zeta parses
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["analyze", "/nonexistent/net.sp"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_netlist_is_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.sp"
+        path.write_text("R1 a b not_a_number\n")
+        assert main(["analyze", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_step_waveform_csv(self, netlist_path, capsys):
+        assert main(
+            ["simulate", netlist_path, "--node", "out", "--points", "21"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "time,v_exact"
+        assert len(out) == 22
+        last = [float(x) for x in out[-1].split(",")]
+        assert last[1] == pytest.approx(1.0, rel=0.05)
+
+    def test_model_column(self, netlist_path, capsys):
+        assert main(
+            ["simulate", netlist_path, "--node", "out", "--points", "11",
+             "--model"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "time,v_exact,v_model"
+        assert len(out[1].split(",")) == 3
+
+    @pytest.mark.parametrize("kind", ["exp", "ramp"])
+    def test_shaped_inputs(self, netlist_path, capsys, kind):
+        assert main(
+            ["simulate", netlist_path, "--node", "out", "--points", "31",
+             "--input", kind, "--rise-time", "200p"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 32
+
+    def test_explicit_horizon(self, netlist_path, capsys):
+        assert main(
+            ["simulate", netlist_path, "--node", "out", "--points", "3",
+             "--t-end", "1n"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert float(out[-1].split(",")[0]) == pytest.approx(1e-9)
+
+
+class TestSensitivity:
+    def test_full_gradient(self, netlist_path, capsys):
+        assert main(["sensitivity", netlist_path, "--node", "out"]) == 0
+        out = capsys.readouterr().out
+        assert "d/dR" in out
+        for node in fig8_tree().nodes:
+            assert node in out
+
+    def test_top_k(self, netlist_path, capsys):
+        assert main(
+            ["sensitivity", netlist_path, "--node", "out", "--top", "2"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 4  # title + header + 2 rows
+
+    def test_rise_metric(self, fig5_path, capsys):
+        assert main(
+            ["sensitivity", fig5_path, "--node", "n7", "--metric", "rise"]
+        ) == 0
+        assert "rise at n7" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_table(self, netlist_path, capsys):
+        assert main(
+            ["compare", netlist_path, "--node", "out", "--points", "4001"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "model delay" in out
+        assert "out" in out
+
+    def test_csv(self, netlist_path, capsys):
+        assert main(
+            ["compare", netlist_path, "--node", "out", "--node", "n1",
+             "--points", "4001", "--csv"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("node,model_delay,exact_delay")
+        assert len(lines) == 3
+        fields = lines[1].split(",")
+        assert fields[0] == "out"
+        # sink error must be modest (the Fig. 15 story: sinks are good)
+        assert float(fields[3]) < 15.0
+
+    def test_all_nodes_default(self, fig5_path, capsys):
+        assert main(["compare", fig5_path, "--points", "4001", "--csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 8  # header + 7 nodes
+
+
+class TestFit:
+    def test_delay_fit_reports_eq33_class(self, capsys):
+        assert main(["fit", "--metric", "delay"]) == 0
+        out = capsys.readouterr().out
+        assert "exp_plus_linear" in out
+        assert "max relative error" in out
+
+    def test_rise_fit(self, capsys):
+        assert main(["fit", "--metric", "rise"]) == 0
+        assert "cubic_rational" in capsys.readouterr().out
+
+
+class TestWindow:
+    BASE = ["window", "--width", "4u", "--thickness", "1u", "--height",
+            "2u", "--rise-time", "50p"]
+
+    def test_rlc_regime(self, capsys):
+        assert main(self.BASE + ["--length", "5m"]) == 0
+        assert "regime = rlc" in capsys.readouterr().out
+
+    def test_rc_regime_long_line(self, capsys):
+        assert main(self.BASE + ["--length", "100m"]) == 0
+        assert "regime = rc" in capsys.readouterr().out
+
+    def test_empty_window_for_narrow_wire(self, capsys):
+        argv = ["window", "--width", "0.2u", "--thickness", "0.3u",
+                "--height", "1u", "--rise-time", "50p", "--length", "5m"]
+        assert main(argv) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_bad_geometry_is_error(self, capsys):
+        argv = ["window", "--width", "0", "--thickness", "1u",
+                "--height", "1u", "--rise-time", "50p", "--length", "1m"]
+        assert main(argv) == 2
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

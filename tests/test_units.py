@@ -1,0 +1,101 @@
+"""Unit tests for engineering-notation parsing and formatting."""
+
+import math
+
+import pytest
+
+from repro.errors import ElementValueError
+from repro.units import SI_PREFIXES, format_value, parse_value
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10p", 1e-11),
+            ("10pF", 1e-11),
+            ("2.5nH", 2.5e-9),
+            ("0.5p", 5e-13),
+            ("50ohm", 50.0),
+            ("1meg", 1e6),
+            ("1MEG", 1e6),
+            ("3k", 3e3),
+            ("15f", 15e-15),
+            ("2u", 2e-6),
+            ("7m", 7e-3),
+            ("1g", 1e9),
+            ("4t", 4e12),
+            ("1e-9", 1e-9),
+            ("-3.5n", -3.5e-9),
+            ("+2p", 2e-12),
+            (".5n", 0.5e-9),
+            ("1E3", 1000.0),
+            ("2.5e-3m", 2.5e-6),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_numbers_pass_through(self):
+        assert parse_value(42) == 42.0
+        assert parse_value(1.5e-12) == 1.5e-12
+
+    def test_case_insensitive(self):
+        assert parse_value("5N") == parse_value("5n")
+        assert parse_value("5NH") == parse_value("5nh")
+
+    def test_whitespace_tolerated(self):
+        assert parse_value("  10p  ") == pytest.approx(1e-11)
+
+    def test_m_is_milli_not_meg(self):
+        assert parse_value("1m") == pytest.approx(1e-3)
+        assert parse_value("1meg") == pytest.approx(1e6)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "10 pF", "1..5n", "p5",
+                                     "1n5"])
+    def test_unparseable_rejected(self, bad):
+        with pytest.raises(ElementValueError):
+            parse_value(bad)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ElementValueError):
+            parse_value(float("nan"))
+
+    def test_prefix_table_consistent(self):
+        for prefix, scale in SI_PREFIXES.items():
+            assert parse_value(f"1{prefix}") == pytest.approx(scale)
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (1e-11, "F", "10pF"),
+            (2.5e-9, "H", "2.5nH"),
+            (50.0, "ohm", "50ohm"),
+            (0.0, "s", "0s"),
+            (1e6, "Hz", "1MHz"),
+            (3.3e3, "", "3.3k"),
+            (15e-15, "F", "15fF"),
+        ],
+    )
+    def test_common_values(self, value, unit, expected):
+        assert format_value(value, unit) == expected
+
+    def test_negative(self):
+        assert format_value(-2e-9, "s") == "-2ns"
+
+    def test_round_trip_through_parse(self):
+        for value in (1e-15, 3.7e-12, 2.2e-9, 5e-6, 0.1, 42.0, 8e9):
+            text = format_value(value, digits=12)
+            assert parse_value(text) == pytest.approx(value, rel=1e-10)
+
+    def test_below_femto_falls_back_to_scientific(self):
+        text = format_value(1e-18, "F")
+        assert "e-18" in text
+
+    def test_infinity_passes_through(self):
+        assert "inf" in format_value(math.inf, "s")
+
+    def test_digits_control(self):
+        assert format_value(1.23456e-9, "s", digits=2) == "1.2ns"
