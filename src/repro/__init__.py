@@ -25,19 +25,32 @@ Package layout:
 * :mod:`repro.reduction` — AWE and Kahng-Muddu baselines
 * :mod:`repro.apps` — buffer insertion, wire sizing, clock skew built on
   the continuous RLC delay model
+* :mod:`repro.robustness` — validation, numerical-health probes and the
+  guarded fallback-chain analyzer (finite metrics or a typed error)
 """
 
 from .analysis import NodeTiming, SecondOrderModel, TreeAnalyzer
 from .circuit import RLCTree, Section
 from .errors import (
     CircuitError,
+    ConfigurationError,
     ElementValueError,
+    FallbackExhaustedError,
     FittingError,
     NetlistError,
+    NumericalHealthError,
     ReductionError,
     ReproError,
     SimulationError,
     TopologyError,
+    ValidationError,
+)
+from .robustness import (
+    GuardedAnalyzer,
+    RepairPolicy,
+    RobustnessReport,
+    sanitize,
+    validate_tree,
 )
 
 __version__ = "1.0.0"
@@ -56,5 +69,14 @@ __all__ = [
     "SimulationError",
     "ReductionError",
     "FittingError",
+    "ConfigurationError",
+    "ValidationError",
+    "NumericalHealthError",
+    "FallbackExhaustedError",
+    "GuardedAnalyzer",
+    "RobustnessReport",
+    "RepairPolicy",
+    "validate_tree",
+    "sanitize",
     "__version__",
 ]

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..circuit.tree import RLCTree
-from ..errors import TopologyError
+from ..errors import ConfigurationError, ElementValueError, TopologyError
 from ..simulation.sources import Source
 from .delay import elmore_delay, wyatt_rise_time
 from .fitting import scaled_delay, scaled_rise
@@ -77,7 +77,8 @@ class TreeAnalyzer:
         if tree.size == 0:
             raise TopologyError("cannot analyze an empty tree")
         if not 0.0 < settle_band < 1.0:
-            raise TopologyError("settle_band must be in (0, 1)")
+            # A bad band is a bad *request*, not a bad circuit.
+            raise ConfigurationError("settle_band must be in (0, 1)")
         self._tree = tree
         self._settle_band = settle_band
 
@@ -213,7 +214,9 @@ class TreeAnalyzer:
         """Closed-form response at ``node`` to any supported source."""
         model = self.model(node)
         if model is None:
-            raise TopologyError(
+            # The topology is fine; the *element values* put the node in
+            # the RC limit where no second-order model exists.
+            raise ElementValueError(
                 f"node {node!r} is in the RC limit; use step_waveform or add "
                 "inductance"
             )
@@ -226,7 +229,7 @@ class TreeAnalyzer:
 
         model = self.model(node)
         if model is None:
-            raise TopologyError(
+            raise ElementValueError(
                 f"node {node!r} is in the RC limit; shaped-input metrics "
                 "need a finite second-order model"
             )

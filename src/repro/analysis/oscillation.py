@@ -143,6 +143,11 @@ def settling_time(model: SecondOrderModel, band: float = 0.1) -> float:
     # Monotone: v(t) ~ 1 - K exp(p_slow t); enter the band when the
     # residual decays to `band`. Using the slow pole alone slightly
     # underestimates K but matches the eq.-42 asymptote at zeta = 1.
-    slow = model.zeta - math.sqrt(model.zeta * model.zeta - 1.0)
+    # zeta - sqrt(zeta^2 - 1) cancels catastrophically (underflowing to
+    # zero for zeta >~ 1e8); the algebraically equal reciprocal form is
+    # stable at any zeta, and writing the radical as 1 - 1/zeta^2 keeps
+    # it free of overflow for zeta beyond sqrt(DBL_MAX) too.
+    zeta = model.zeta
+    slow = 1.0 / (zeta * (1.0 + math.sqrt(1.0 - 1.0 / (zeta * zeta))))
     p_slow = model.omega_n * slow
     return -math.log(band) / p_slow

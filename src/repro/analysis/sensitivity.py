@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, Literal, Tuple
 
 from ..circuit.tree import RLCTree
-from ..errors import TopologyError
+from ..errors import ConfigurationError, TopologyError
 from .fitting import DELAY_FIT_COEFFICIENTS, RISE_FIT_COEFFICIENTS
 from .moments import capacitive_loads, second_order_sums
 
@@ -152,7 +152,9 @@ def delay_sensitivities(
     if node not in tree or node == tree.root:
         raise TopologyError(f"unknown node {node!r}")
     if metric not in ("delay", "rise"):
-        raise TopologyError(f"unknown metric {metric!r}; use 'delay' or 'rise'")
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; use 'delay' or 'rise'"
+        )
 
     t_rc_all, t_lc_all = second_order_sums(tree)
     t_rc, t_lc = t_rc_all[node], t_lc_all[node]

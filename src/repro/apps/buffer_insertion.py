@@ -31,6 +31,7 @@ from typing import Dict, List, Literal, Optional, Sequence, Tuple
 from ..analysis.delay import delay_50_from_sums, elmore_delay
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
+from ..robustness.guarded import shielded
 
 __all__ = [
     "Buffer",
@@ -70,6 +71,7 @@ class Buffer:
         )
 
 
+@shielded
 def wire_segment_delay(
     resistance: float,
     inductance: float,
@@ -118,6 +120,7 @@ class InsertionResult:
         return len(self.buffer_nodes)
 
 
+@shielded
 def insert_buffers(
     tree: RLCTree,
     buffer: Buffer,
@@ -230,6 +233,7 @@ def insert_buffers(
     )
 
 
+@shielded
 def plan_stages(
     line: RLCTree, placements: Sequence[str]
 ) -> List[List[str]]:
@@ -255,6 +259,7 @@ def plan_stages(
     return stages
 
 
+@shielded
 def simulated_plan_delay(
     line: RLCTree,
     result: "InsertionResult",

@@ -30,12 +30,14 @@ from ..circuit.builders import balanced_tree
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
+from ..robustness.guarded import shielded
 from ..simulation.exact import ExactSimulator
 from ..simulation.measures import delay_50 as measure_delay_50
 
 __all__ = ["h_tree", "SkewReport", "skew_report", "perturbed_clock_tree"]
 
 
+@shielded
 def h_tree(
     levels: int = 4,
     trunk: Optional[Section] = None,
@@ -67,6 +69,7 @@ def h_tree(
     return balanced_tree(levels, 2, level_sections=level_sections, root=root)
 
 
+@shielded
 def perturbed_clock_tree(
     base: RLCTree,
     relative_spread: float = 0.1,
@@ -152,6 +155,7 @@ class SkewReport:
         ]
 
 
+@shielded
 def skew_report(
     tree: RLCTree,
     points: int = 4001,

@@ -34,10 +34,12 @@ from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
+from ..robustness.guarded import shielded
 
 __all__ = ["TuningResult", "tune_clock_tree", "apply_widths", "model_skew"]
 
 
+@shielded
 def apply_widths(tree: RLCTree, widths: Dict[str, float]) -> RLCTree:
     """The tree with each section resized to its width factor."""
     def resize(name: str, section: Section) -> Section:
@@ -51,6 +53,7 @@ def apply_widths(tree: RLCTree, widths: Dict[str, float]) -> RLCTree:
     return tree.map_sections(resize)
 
 
+@shielded
 def model_skew(tree: RLCTree) -> float:
     """Closed-form skew: max - min sink delay."""
     analyzer = TreeAnalyzer(tree)
@@ -104,6 +107,7 @@ class TuningResult:
         return 1.0 - self.skew_after / self.skew_before
 
 
+@shielded
 def tune_clock_tree(
     tree: RLCTree,
     iterations: int = 40,

@@ -41,6 +41,7 @@ from ..circuit.builders import distributed_line
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
+from ..robustness.guarded import shielded
 
 __all__ = [
     "RepeaterLibrary",
@@ -112,6 +113,7 @@ class RepeaterPlan:
         return self.count + 1
 
 
+@shielded
 def bakoglu_rc(line: LineParameters, library: RepeaterLibrary) -> RepeaterPlan:
     """The classic closed-form RC optimum (Bakoglu 1990).
 
@@ -133,6 +135,7 @@ def bakoglu_rc(line: LineParameters, library: RepeaterLibrary) -> RepeaterPlan:
     return RepeaterPlan(count=count, size=size, total_delay=delay, model="rc")
 
 
+@shielded
 def stage_delay(
     line: LineParameters,
     library: RepeaterLibrary,
@@ -173,6 +176,7 @@ def stage_delay(
     return TreeAnalyzer(tree).delay_50(f"n{wire_sections}")
 
 
+@shielded
 def total_path_delay(
     line: LineParameters,
     library: RepeaterLibrary,
@@ -192,6 +196,7 @@ def total_path_delay(
     return count * (inner + library.intrinsic_delay) + final
 
 
+@shielded
 def optimize_repeaters(
     line: LineParameters,
     library: RepeaterLibrary,

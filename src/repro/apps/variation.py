@@ -29,6 +29,7 @@ from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
+from ..robustness.guarded import shielded
 from ..simulation.exact import ExactSimulator
 from ..simulation.measures import delay_50 as measure_delay_50
 
@@ -126,6 +127,7 @@ class VariationStudy:
         return float(rho)
 
 
+@shielded
 def sample_delays(
     tree: RLCTree,
     node: str,
@@ -169,6 +171,7 @@ def sample_delays(
     )
 
 
+@shielded
 def linearized_sigma(
     tree: RLCTree,
     node: str,

@@ -33,6 +33,7 @@ from ..circuit.builders import distributed_line
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
+from ..robustness.guarded import shielded
 
 __all__ = ["WireSizingProblem", "SizingResult", "optimize_width"]
 
@@ -127,6 +128,7 @@ class SizingResult:
     evaluations: int
 
 
+@shielded
 def optimize_width(
     problem: WireSizingProblem,
     model: DelayModel = "rlc",

@@ -47,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(Ismail/Friedman/Neves, DAC 1999).",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="print full tracebacks instead of one-line error messages",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser(
@@ -62,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="settling band as a fraction of final value (default 0.1)",
     )
     analyze.add_argument("--csv", action="store_true", help="CSV output")
+    analyze.add_argument(
+        "--unguarded", action="store_true",
+        help="bypass the guarded fallback chain and use the raw closed "
+        "forms (faster, but hostile netlists may fail)",
+    )
+    analyze.add_argument(
+        "--repair", action="store_true",
+        help="let the guarded analyzer auto-repair invalid element values "
+        "(clamp NaN/inf, epsilon capacitance, merge shorts)",
+    )
 
     simulate = commands.add_parser(
         "simulate", help="exact waveform at a node (CSV to stdout)"
@@ -145,7 +159,18 @@ def _read_tree(path: str):
 
 def _cmd_analyze(args) -> int:
     tree = _read_tree(args.netlist)
-    analyzer = TreeAnalyzer(tree, settle_band=args.settle_band)
+    if args.unguarded:
+        analyzer = TreeAnalyzer(tree, settle_band=args.settle_band)
+    else:
+        from .robustness import GuardedAnalyzer, RepairPolicy
+
+        policy = RepairPolicy.repair_all() if args.repair else None
+        analyzer = GuardedAnalyzer(
+            tree, settle_band=args.settle_band, policy=policy
+        )
+        for diagnostic in analyzer.validation.warnings():
+            print(f"warning: {diagnostic}", file=sys.stderr)
+        tree = analyzer.tree  # the (possibly repaired) tree
     nodes = args.node if args.node else list(tree.nodes)
     rows = [analyzer.timing(node) for node in nodes]
     if args.csv:
@@ -309,14 +334,32 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Exit codes: 0 success, 2 for well-typed failures (a
+    :class:`~repro.errors.ReproError` or a missing file), 3 for anything
+    unexpected. ``--debug`` re-raises instead, for a full traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:  # the never-a-raw-traceback guarantee
+        if args.debug:
+            raise
+        print(
+            f"internal error ({type(exc).__name__}: {exc}); "
+            "re-run with --debug for the traceback",
+            file=sys.stderr,
+        )
+        return 3

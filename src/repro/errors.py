@@ -19,6 +19,10 @@ __all__ = [
     "SimulationError",
     "ReductionError",
     "FittingError",
+    "ConfigurationError",
+    "ValidationError",
+    "NumericalHealthError",
+    "FallbackExhaustedError",
 ]
 
 
@@ -70,3 +74,46 @@ class ReductionError(ReproError):
 
 class FittingError(ReproError):
     """Curve fitting of the delay/rise-time expressions failed."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An analysis knob is out of range (settle band, metric name, policy
+    value, fallback-chain tier, ...).
+
+    Distinct from :class:`CircuitError`: the circuit may be perfectly
+    fine — it is the *request* that is malformed.
+    """
+
+
+class ValidationError(CircuitError):
+    """:func:`repro.robustness.validate_tree` found error-severity
+    diagnostics and the active repair policy could not (or was not
+    allowed to) fix them.
+
+    Carries the offending :class:`~repro.robustness.Diagnostic` records
+    in :attr:`diagnostics` so callers can render structured reports.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
+class NumericalHealthError(ReproError):
+    """A numerical-health probe tripped and bounded retries (unit
+    rescaling, regularization) were exhausted — or a raw numerical
+    failure (``LinAlgError``, overflow, division by zero) escaped a
+    lower layer and was converted at a guarded boundary."""
+
+
+class FallbackExhaustedError(ReproError):
+    """Every tier of a guarded fallback chain failed for a query.
+
+    :attr:`attempts` holds the per-tier
+    :class:`~repro.robustness.TierAttempt` records explaining what each
+    tier tried and why it was rejected.
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()):
+        super().__init__(message)
+        self.attempts = tuple(attempts)

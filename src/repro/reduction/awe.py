@@ -31,17 +31,23 @@ def awe_model(
     node: str,
     order: int = 2,
     stable_only: bool = False,
+    min_stable_ratio: float = 0.0,
 ) -> PoleResidueModel:
     """The q-pole AWE model of ``node``'s transfer function.
 
     ``order=2`` reproduces the moment content the paper's second-order
     model starts from, but with the *exact* second moment and no
     guarantee of stability; higher orders approach the exact response.
+    ``min_stable_ratio`` rejects reductions whose Pade table is mostly
+    unstable (see :func:`~repro.reduction.pade.pade_poles_residues`).
     """
     if node not in tree:
         raise ReductionError(f"unknown node {node!r}")
     moments = exact_moments(tree, 2 * order - 1)[node]
-    return pade_poles_residues(moments, order, stable_only=stable_only)
+    return pade_poles_residues(
+        moments, order, stable_only=stable_only,
+        min_stable_ratio=min_stable_ratio,
+    )
 
 
 def awe_step_metrics(
@@ -53,6 +59,8 @@ def awe_step_metrics(
     points: int = 4001,
     span_factor: float = 10.0,
     t_end: Optional[float] = None,
+    min_stable_ratio: float = 0.0,
+    settle_band: float = 0.1,
 ) -> measures.WaveformMetrics:
     """Step-response metrics of the AWE model, measured off its waveform.
 
@@ -61,12 +69,17 @@ def awe_step_metrics(
     timing flow does. ``stable_only`` defaults to True because an
     unstable reduced model has no measurable 50% delay at all.
     """
-    model = awe_model(tree, node, order, stable_only=stable_only)
+    model = awe_model(
+        tree, node, order, stable_only=stable_only,
+        min_stable_ratio=min_stable_ratio,
+    )
     if t_end is None:
         t_end = span_factor * model.dominant_time_constant()
     t = np.linspace(0.0, t_end, points)
     v = model.step_response(t, amplitude=final_value)
-    return measures.measure(t, v, final_value=final_value)
+    return measures.measure(
+        t, v, final_value=final_value, settle_band=settle_band
+    )
 
 
 def awe_delay_50(

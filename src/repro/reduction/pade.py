@@ -59,6 +59,18 @@ class PoleResidueModel:
         """True when every pole is strictly in the left half plane."""
         return all(p.real < 0.0 for p in self.poles)
 
+    @property
+    def stable_pole_ratio(self) -> float:
+        """Fraction of poles strictly in the left half plane.
+
+        1.0 for a fully stable model; a low ratio means the Pade table
+        produced a mostly non-physical model whose stable remnant (after
+        ``stable_only`` filtering) carries little of the matched moment
+        content.
+        """
+        stable = sum(1 for p in self.poles if p.real < 0.0)
+        return stable / len(self.poles)
+
     def dc_gain(self) -> float:
         """H(0) = sum -r_i / p_i; ~1 for a source-driven tree node."""
         return float(np.real(sum(-r / p for p, r in zip(self.poles, self.residues))))
@@ -116,6 +128,7 @@ def pade_poles_residues(
     moments: Sequence[float],
     order: int,
     stable_only: bool = False,
+    min_stable_ratio: float = 0.0,
 ) -> PoleResidueModel:
     """Compute the ``[order-1 / order]`` Pade model from moments.
 
@@ -131,17 +144,29 @@ def pade_poles_residues(
         are then re-solved against the low-order moments so the surviving
         model still matches ``m_0 .. m_{q'-1}``. Raises if nothing stable
         survives.
+    min_stable_ratio:
+        Reject the reduction outright when fewer than this fraction of
+        the ``order`` computed poles are stable, *before* any filtering.
+        A mostly-unstable Pade table is a sign the moment matching broke
+        down, and the stable remnant is then not a trustworthy model
+        even though it can be simulated. 0.0 (default) disables the
+        check and preserves historical behaviour.
 
     Raises
     ------
     ReductionError
         For insufficient moments, a singular Hankel system (the exact
-        function has fewer than ``order`` poles — lower the order), or no
-        surviving stable poles with ``stable_only``.
+        function has fewer than ``order`` poles — lower the order), a
+        stable-pole ratio below ``min_stable_ratio``, or no surviving
+        stable poles with ``stable_only``.
     """
     m = np.asarray(moments, dtype=float)
     if order < 1:
         raise ReductionError("order must be at least 1")
+    if not 0.0 <= min_stable_ratio <= 1.0:
+        raise ReductionError(
+            f"min_stable_ratio must be in [0, 1], got {min_stable_ratio!r}"
+        )
     if m.size < 2 * order:
         raise ReductionError(
             f"need {2 * order} moments for a {order}-pole model, got {m.size}"
@@ -185,6 +210,15 @@ def pade_poles_residues(
         raise ReductionError("degenerate denominator; lower the order")
     scaled_poles = np.roots(coeffs)
     poles = scaled_poles / scale
+
+    if min_stable_ratio > 0.0:
+        ratio = float(np.count_nonzero(scaled_poles.real < 0.0)) / order
+        if ratio < min_stable_ratio:
+            raise ReductionError(
+                f"only {ratio:.0%} of the {order} Pade poles are stable "
+                f"(required {min_stable_ratio:.0%}); the moment matching "
+                "has broken down at this order"
+            )
 
     if stable_only:
         keep = scaled_poles.real < 0.0

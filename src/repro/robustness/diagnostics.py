@@ -1,0 +1,162 @@
+"""Structured diagnostics for circuit validation and numerical health.
+
+Instead of surfacing a different ad-hoc exception from every layer, the
+robustness subsystem reports problems as :class:`Diagnostic` records: a
+severity, a machine-readable code, the node (or probe) concerned, a
+human-readable message, and — where one exists — a suggested repair. A
+:class:`ValidationReport` collects the records for one tree and decides
+whether the tree is usable as-is, usable after repair, or hopeless.
+
+The severity ladder:
+
+* ``INFO`` — worth knowing, never blocks anything (an RC-only tree, a
+  tree already in normalized units, ...).
+* ``WARNING`` — analysis will proceed but some backend may degrade or
+  need a repair/rescale (zero-capacitance node, extreme dynamic range,
+  huge fanout).
+* ``ERROR`` — no backend can produce trustworthy numbers (NaN element
+  value, negative capacitance, empty tree). Strict policies convert
+  these into :class:`~repro.errors.ValidationError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["Severity", "Diagnostic", "ValidationReport"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparable (``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error" reads better than "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation or health finding.
+
+    Attributes
+    ----------
+    severity:
+        How bad it is (see :class:`Severity`).
+    code:
+        Stable machine-readable slug (``"non-finite-element"``,
+        ``"zero-capacitance"``, ``"dynamic-range"``, ...). Tests and
+        repair policies key off this, never off the message text.
+    node:
+        The node concerned, or ``None`` for whole-tree findings.
+    message:
+        Human-readable explanation.
+    repair:
+        Suggested repair as a short imperative phrase, or ``None`` when
+        no automatic repair exists.
+    repaired:
+        True when :func:`repro.robustness.sanitize` already applied the
+        suggested repair to the tree it returned.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    node: Optional[str] = None
+    repair: Optional[str] = None
+    repaired: bool = False
+
+    def applied(self) -> "Diagnostic":
+        """A copy of this diagnostic marked as repaired."""
+        return Diagnostic(
+            severity=self.severity,
+            code=self.code,
+            message=self.message,
+            node=self.node,
+            repair=self.repair,
+            repaired=True,
+        )
+
+    def __str__(self) -> str:
+        where = f" at {self.node!r}" if self.node else ""
+        hint = f" (repair: {self.repair})" if self.repair else ""
+        done = " [repaired]" if self.repaired else ""
+        return f"[{self.severity}] {self.code}{where}: {self.message}{hint}{done}"
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All diagnostics for one tree, with convenience queries."""
+
+    diagnostics: Tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        """Truthy when the tree passed (no unrepaired errors)."""
+        return self.ok
+
+    @property
+    def ok(self) -> bool:
+        """True when no *unrepaired* error-severity diagnostics remain."""
+        return not self.errors()
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        """Highest severity present (repaired or not); None when clean."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def errors(self) -> List[Diagnostic]:
+        """Unrepaired error-severity diagnostics."""
+        return [
+            d
+            for d in self.diagnostics
+            if d.severity >= Severity.ERROR and not d.repaired
+        ]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct codes present, in first-appearance order."""
+        seen: List[str] = []
+        for d in self.diagnostics:
+            if d.code not in seen:
+                seen.append(d.code)
+        return tuple(seen)
+
+    def merged(self, other: "ValidationReport") -> "ValidationReport":
+        return ValidationReport(self.diagnostics + other.diagnostics)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`~repro.errors.ValidationError` on unrepaired errors."""
+        errors = self.errors()
+        if errors:
+            summary = "; ".join(str(d) for d in errors[:4])
+            if len(errors) > 4:
+                summary += f"; ... ({len(errors) - 4} more)"
+            raise ValidationError(
+                f"tree failed validation with {len(errors)} error(s): {summary}",
+                diagnostics=tuple(errors),
+            )
+
+    def summary(self) -> str:
+        """One line per diagnostic, for logs and CLI output."""
+        if not self.diagnostics:
+            return "validation clean"
+        return "\n".join(str(d) for d in self.diagnostics)

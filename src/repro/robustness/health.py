@@ -1,0 +1,213 @@
+"""Numerical-health probes and deterministic unit rescaling.
+
+Dense numerics (the eigensolve behind
+:class:`~repro.simulation.exact.ExactSimulator`, the Hankel solve behind
+AWE/Pade) degrade in two distinct ways on hostile inputs:
+
+* **conditioning** — the matrices are near-singular or near-defective,
+  which probes on the condition number and the eigendecomposition
+  residual detect;
+* **scaling** — element values in SI units put intermediate quantities
+  (``1/(RC)``, time horizons) outside the double-precision exponent
+  range, which finiteness probes detect.
+
+Conditioning is physics and no change of units fixes it; scaling is pure
+bookkeeping and *is* fixed by working in normalized units. This module
+provides both the probes and the bookkeeping:
+:func:`characteristic_scales` picks a deterministic time scale ``tau``
+and impedance scale ``z`` for a tree, :func:`rescale_tree` maps the tree
+into units where a typical section has O(1) values, and callers scale
+time-valued results back by ``tau`` (dimensionless results — overshoot
+fractions, damping factors — are invariant).
+
+The transformation: ``R -> R / z``, ``L -> L / (z * tau)``,
+``C -> C * z / tau``. Impedance scaling leaves every time constant
+(``RC``, ``L/R``, ``sqrt(LC)``) untouched; time scaling divides them all
+by ``tau``. Hence ``delay(tree) = tau * delay(rescale_tree(tree))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.elements import Section
+from ..circuit.tree import RLCTree
+from ..errors import NumericalHealthError
+
+__all__ = [
+    "HealthProbe",
+    "eigensystem_probes",
+    "characteristic_scales",
+    "rescale_tree",
+    "CONDITION_LIMIT",
+    "RESIDUAL_LIMIT",
+]
+
+#: Eigenvector-matrix condition number above which a modal solution is
+#: considered untrustworthy (matches the historical ExactSimulator gate).
+CONDITION_LIMIT = 1e13
+
+#: Relative eigendecomposition residual ``||A V - V diag(w)|| / ||A||``
+#: above which the eigensolve itself is considered to have failed.
+RESIDUAL_LIMIT = 1e-8
+
+
+@dataclass(frozen=True)
+class HealthProbe:
+    """One numerical-health measurement against its threshold."""
+
+    name: str
+    value: float
+    threshold: float
+    ok: bool
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "TRIPPED"
+        return (
+            f"{self.name}: {self.value:.3e} "
+            f"(limit {self.threshold:.0e}) {verdict}"
+        )
+
+
+def eigensystem_probes(
+    a: np.ndarray,
+    w: np.ndarray,
+    v: np.ndarray,
+    *,
+    condition_limit: float = CONDITION_LIMIT,
+    residual_limit: float = RESIDUAL_LIMIT,
+) -> List[HealthProbe]:
+    """Probe an eigendecomposition ``A = V diag(w) V^-1`` for trouble.
+
+    Three probes: all quantities finite, eigenvector conditioning below
+    ``condition_limit``, and the backward residual below
+    ``residual_limit``. Never raises — callers decide what a tripped
+    probe means (retry with rescaling, fall back, or error out).
+    """
+    probes: List[HealthProbe] = []
+    with np.errstate(all="ignore"):
+        finite = bool(
+            np.all(np.isfinite(a))
+            and np.all(np.isfinite(w.view(float)))
+            and np.all(np.isfinite(v.view(float)))
+        )
+        probes.append(HealthProbe("finite", 0.0 if finite else 1.0, 0.5, finite))
+        if not finite:
+            return probes
+
+        condition = float(np.linalg.cond(v))
+        probes.append(HealthProbe(
+            "eigenvector-condition",
+            condition,
+            condition_limit,
+            bool(math.isfinite(condition) and condition <= condition_limit),
+        ))
+
+        norm_a = float(np.linalg.norm(a))
+        residual = float(np.linalg.norm(a @ v - v * w[None, :]))
+        relative = residual / norm_a if norm_a > 0.0 else residual
+        probes.append(HealthProbe(
+            "eigensolve-residual",
+            relative,
+            residual_limit,
+            bool(math.isfinite(relative) and relative <= residual_limit),
+        ))
+    return probes
+
+
+def _log_geometric_mean(values: List[float]) -> Optional[float]:
+    """Geometric mean computed in log space; None for an empty list."""
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def characteristic_scales(tree: RLCTree) -> Tuple[float, float]:
+    """Deterministic ``(time_scale, impedance_scale)`` for ``tree``.
+
+    The time scale is the geometric mean of every section's dominant
+    time constant (``max(RC, sqrt(LC), L/R)`` over the constants its
+    elements define); the impedance scale is the geometric mean of
+    ``max(R, sqrt(L/C))``. Both fall back to 1.0 when the tree defines
+    no usable constants (e.g. all capacitances zero). Only finite,
+    positive element values participate, so injected garbage cannot
+    poison the scales.
+    """
+    times: List[float] = []
+    impedances: List[float] = []
+    for _, section in tree.sections():
+        r = float(section.resistance)
+        l = float(section.inductance)
+        c = float(section.capacitance)
+        ok_r = math.isfinite(r) and r > 0.0
+        ok_l = math.isfinite(l) and l > 0.0
+        ok_c = math.isfinite(c) and c > 0.0
+
+        constants: List[float] = []
+        if ok_r and ok_c:
+            constants.append(math.exp(math.log(r) + math.log(c)))
+        if ok_l and ok_c:
+            constants.append(math.exp(0.5 * (math.log(l) + math.log(c))))
+        if ok_l and ok_r:
+            constants.append(math.exp(math.log(l) - math.log(r)))
+        if constants:
+            times.append(max(constants))
+
+        z_candidates: List[float] = []
+        if ok_r:
+            z_candidates.append(r)
+        if ok_l and ok_c:
+            z_candidates.append(math.exp(0.5 * (math.log(l) - math.log(c))))
+        if z_candidates:
+            impedances.append(max(z_candidates))
+
+    tau = _log_geometric_mean(times) or 1.0
+    z = _log_geometric_mean(impedances) or 1.0
+    if not (math.isfinite(tau) and tau > 0.0):
+        tau = 1.0
+    if not (math.isfinite(z) and z > 0.0):
+        z = 1.0
+    return tau, z
+
+
+def rescale_tree(
+    tree: RLCTree,
+    time_scale: float,
+    impedance_scale: float = 1.0,
+) -> RLCTree:
+    """Map ``tree`` into normalized units (see module docstring).
+
+    All divisions happen value-by-value (never via a precomputed
+    reciprocal factor), so scales near the double-precision exponent
+    limits stay representable. Raises
+    :class:`~repro.errors.NumericalHealthError` when a rescaled value
+    still falls outside the finite range — the tree is then beyond what
+    any change of units can save.
+    """
+    if not (math.isfinite(time_scale) and time_scale > 0.0):
+        raise NumericalHealthError(
+            f"time scale must be positive and finite, got {time_scale!r}"
+        )
+    if not (math.isfinite(impedance_scale) and impedance_scale > 0.0):
+        raise NumericalHealthError(
+            f"impedance scale must be positive and finite, got "
+            f"{impedance_scale!r}"
+        )
+
+    def transform(name: str, section: Section) -> Section:
+        r = section.resistance / impedance_scale
+        l = section.inductance / impedance_scale / time_scale
+        c = section.capacitance / time_scale * impedance_scale
+        for label, value in (("R", r), ("L", l), ("C", c)):
+            if not math.isfinite(value):
+                raise NumericalHealthError(
+                    f"rescaling node {name!r} left {label} = {value!r}; the "
+                    "tree's dynamic range exceeds double precision entirely"
+                )
+        return Section(r, l, c)
+
+    return tree.map_sections(transform)

@@ -1,0 +1,356 @@
+"""Tree validation and policy-gated sanitization.
+
+:func:`validate_tree` inspects one :class:`~repro.circuit.tree.RLCTree`
+and returns a :class:`~repro.robustness.diagnostics.ValidationReport` —
+it never raises and never mutates. It catches both problems a netlist
+can legitimately contain (zero-capacitance branching nodes, extreme
+dynamic range) and values that can only appear through memory
+corruption or deliberate fault injection (NaN/inf/negative elements,
+zero-impedance branches), since downstream numerics must survive either
+way.
+
+:func:`sanitize` applies the *suggested repairs* of those diagnostics,
+but only the ones an explicit :class:`RepairPolicy` allows: clamping
+non-finite/negative values, inserting an epsilon capacitance at C = 0
+nodes, merging zero-impedance sections into their parent. Repairs are
+deterministic and recorded in the returned report, so a caller can
+always reconstruct what was changed and why.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.elements import Section
+from ..circuit.tree import RLCTree
+from .diagnostics import Diagnostic, Severity, ValidationReport
+
+__all__ = [
+    "RepairPolicy",
+    "validate_tree",
+    "sanitize",
+    "DYNAMIC_RANGE_LIMIT",
+    "FANOUT_LIMIT",
+    "DEPTH_LIMIT",
+]
+
+#: Ratio of largest to smallest positive value of one quantity (R, L or
+#: C) above which the tree counts as badly scaled for dense numerics.
+DYNAMIC_RANGE_LIMIT = 1e12
+
+#: Children per node above which the topology counts as pathological
+#: (a realistic interconnect fanout is a handful of branches).
+FANOUT_LIMIT = 64
+
+#: Tree depth above which a chain counts as pathological for dense
+#: (O(n^3)) backends; the closed forms remain O(n) and unaffected.
+DEPTH_LIMIT = 512
+
+#: Replacement for +inf element values under ``RepairPolicy.clamp``.
+_CLAMP_MAX = 1e12
+
+#: Resistance restored when clamping leaves a section with R = L = 0
+#: (a zero-impedance branch would merge two nodes).
+_CLAMP_MIN_RESISTANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Which automatic repairs :func:`sanitize` may apply.
+
+    The default policy repairs nothing — auto-repair is strictly opt-in,
+    because silently rewriting a user's circuit is worse than a clean
+    structured failure.
+
+    Attributes
+    ----------
+    clamp:
+        Replace NaN and negative element values with 0, +inf values with
+        ``1e12`` (SI units), and restore a minimal resistance when the
+        clamp would leave a zero-impedance branch.
+    epsilon_capacitance:
+        When positive, give every C <= 0 node this capacitance (farads)
+        so transient backends can run; ``1e-18`` (1 aF) perturbs any
+        realistic response by less than solver tolerance.
+    merge_zero_impedance:
+        Fold a zero-impedance section (R = L = 0, only constructible by
+        fault injection) into its parent node: children re-attach to the
+        parent and the shunt capacitance moves up.
+    """
+
+    clamp: bool = False
+    epsilon_capacitance: float = 0.0
+    merge_zero_impedance: bool = False
+
+    @classmethod
+    def none(cls) -> "RepairPolicy":
+        """Repair nothing (the default)."""
+        return cls()
+
+    @classmethod
+    def repair_all(cls) -> "RepairPolicy":
+        """Every repair enabled, with the 1 aF capacitance floor."""
+        return cls(clamp=True, epsilon_capacitance=1e-18,
+                   merge_zero_impedance=True)
+
+    def __post_init__(self):
+        if not (self.epsilon_capacitance >= 0.0
+                and math.isfinite(self.epsilon_capacitance)):
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(
+                "epsilon_capacitance must be finite and >= 0, got "
+                f"{self.epsilon_capacitance!r}"
+            )
+
+
+def _element_values(tree: RLCTree) -> Dict[str, Tuple[float, float, float]]:
+    """Raw (R, L, C) floats per node, tolerant of injected garbage."""
+    out: Dict[str, Tuple[float, float, float]] = {}
+    for name, section in tree.sections():
+        out[name] = (
+            float(section.resistance),
+            float(section.inductance),
+            float(section.capacitance),
+        )
+    return out
+
+
+def validate_tree(
+    tree: RLCTree,
+    *,
+    dynamic_range_limit: float = DYNAMIC_RANGE_LIMIT,
+    fanout_limit: int = FANOUT_LIMIT,
+    depth_limit: int = DEPTH_LIMIT,
+) -> ValidationReport:
+    """Inspect ``tree`` and return structured diagnostics.
+
+    Never raises and never modifies the tree. See the module docstring
+    for the catalogue of codes; severities follow
+    :class:`~repro.robustness.diagnostics.Severity`.
+    """
+    found: List[Diagnostic] = []
+
+    if tree.size == 0:
+        found.append(Diagnostic(
+            severity=Severity.ERROR,
+            code="empty-tree",
+            message="tree has no sections; nothing to analyze",
+        ))
+        return ValidationReport(tuple(found))
+
+    values = _element_values(tree)
+
+    # -- per-element value checks -----------------------------------------
+    for name, (r, l, c) in values.items():
+        for label, value in (("R", r), ("L", l), ("C", c)):
+            if math.isnan(value) or math.isinf(value):
+                found.append(Diagnostic(
+                    severity=Severity.ERROR,
+                    code="non-finite-element",
+                    node=name,
+                    message=f"{label} = {value!r} is not finite",
+                    repair="clamp to finite bounds",
+                ))
+            elif value < 0.0:
+                found.append(Diagnostic(
+                    severity=Severity.ERROR,
+                    code="negative-element",
+                    node=name,
+                    message=f"{label} = {value!r} is negative",
+                    repair="clamp to zero",
+                ))
+        finite = all(math.isfinite(v) for v in (r, l, c))
+        if finite and max(r, 0.0) == 0.0 and max(l, 0.0) == 0.0:
+            found.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="zero-impedance",
+                node=name,
+                message="section has R = L = 0; the branch short-circuits "
+                        "two nodes",
+                repair="merge node into its parent",
+            ))
+        if finite and c <= 0.0 and not (r == 0.0 and l == 0.0):
+            found.append(Diagnostic(
+                severity=Severity.WARNING,
+                code="zero-capacitance",
+                node=name,
+                message="node has no shunt capacitance; transient backends "
+                        "need C > 0",
+                repair="insert epsilon capacitance",
+            ))
+        if finite and r > 0.0 and c > 0.0:
+            # A time constant that underflows to 0 (or overflows) breaks
+            # the 1/(RC) stamps of the state-space backends.
+            rc = r * c
+            if rc == 0.0 or not math.isfinite(rc) or 1.0 / rc > 1e300:
+                found.append(Diagnostic(
+                    severity=Severity.WARNING,
+                    code="overflow-risk",
+                    node=name,
+                    message=f"section time constant RC = {rc:.3e} is outside "
+                            "the safe double-precision band",
+                    repair="rescale units before dense numerics",
+                ))
+
+    # -- dynamic-range checks ---------------------------------------------
+    for label, index in (("R", 0), ("L", 1), ("C", 2)):
+        positive = sorted(
+            v[index] for v in values.values()
+            if math.isfinite(v[index]) and v[index] > 0.0
+        )
+        if len(positive) >= 2 and positive[-1] / positive[0] > dynamic_range_limit:
+            found.append(Diagnostic(
+                severity=Severity.WARNING,
+                code="dynamic-range",
+                message=f"{label} values span a ratio of "
+                        f"{positive[-1] / positive[0]:.2e} "
+                        f"(> {dynamic_range_limit:.0e}); dense numerics may "
+                        "degrade",
+                repair="rescale units or fall back to closed forms",
+            ))
+
+    # -- topology checks -----------------------------------------------------
+    worst_fanout = max(
+        ((name, len(tree.children(name))) for name in (tree.root,) + tree.nodes),
+        key=lambda pair: pair[1],
+    )
+    if worst_fanout[1] > fanout_limit:
+        found.append(Diagnostic(
+            severity=Severity.WARNING,
+            code="huge-fanout",
+            node=worst_fanout[0],
+            message=f"node drives {worst_fanout[1]} children "
+                    f"(> {fanout_limit})",
+        ))
+    if tree.depth > depth_limit:
+        found.append(Diagnostic(
+            severity=Severity.WARNING,
+            code="deep-chain",
+            message=f"tree depth {tree.depth} exceeds {depth_limit}; dense "
+                    "O(n^3) backends will be slow",
+        ))
+    if all(
+        (not math.isfinite(v[2])) or v[2] <= 0.0 for v in values.values()
+    ):
+        found.append(Diagnostic(
+            severity=Severity.WARNING,
+            code="no-capacitance",
+            message="no node carries capacitance; all delays are zero and "
+                    "transient analysis is impossible",
+            repair="insert epsilon capacitance",
+        ))
+    if tree.is_rc():
+        found.append(Diagnostic(
+            severity=Severity.INFO,
+            code="rc-only",
+            message="tree has no inductance; closed forms reduce to the "
+                    "RC Elmore limit",
+        ))
+
+    return ValidationReport(tuple(found))
+
+
+def sanitize(
+    tree: RLCTree,
+    policy: Optional[RepairPolicy] = None,
+    *,
+    dynamic_range_limit: float = DYNAMIC_RANGE_LIMIT,
+) -> Tuple[RLCTree, ValidationReport]:
+    """Validate ``tree`` and apply the repairs ``policy`` allows.
+
+    Returns ``(repaired_tree, report)``. Diagnostics whose repair was
+    applied are marked ``repaired=True`` in the report; unrepaired
+    error-severity diagnostics keep ``report.ok`` False, and the caller
+    decides whether to proceed (e.g. via ``report.raise_if_errors()``).
+    When no repair fires, the original tree object is returned unchanged.
+    """
+    policy = policy or RepairPolicy.none()
+    report = validate_tree(tree, dynamic_range_limit=dynamic_range_limit)
+    if tree.size == 0:
+        return tree, report
+
+    values = _element_values(tree)
+    repaired_codes: Dict[Tuple[Optional[str], str], bool] = {}
+    changed = False
+
+    fixed: Dict[str, Tuple[float, float, float]] = {}
+    for name, (r, l, c) in values.items():
+        new_r, new_l, new_c = r, l, c
+        if policy.clamp:
+            clamped = []
+            for value in (new_r, new_l, new_c):
+                if math.isnan(value) or value < 0.0:
+                    clamped.append(0.0)
+                elif math.isinf(value):
+                    clamped.append(_CLAMP_MAX)
+                else:
+                    clamped.append(value)
+            if (new_r, new_l, new_c) != tuple(clamped):
+                new_r, new_l, new_c = clamped
+                changed = True
+                repaired_codes[(name, "non-finite-element")] = True
+                repaired_codes[(name, "negative-element")] = True
+            if new_r == 0.0 and new_l == 0.0 and not policy.merge_zero_impedance:
+                new_r = _CLAMP_MIN_RESISTANCE
+                changed = True
+                repaired_codes[(name, "zero-impedance")] = True
+        if (
+            policy.epsilon_capacitance > 0.0
+            and math.isfinite(new_c)
+            and new_c <= 0.0
+            and not (new_r == 0.0 and new_l == 0.0)
+        ):
+            new_c = policy.epsilon_capacitance
+            changed = True
+            repaired_codes[(name, "zero-capacitance")] = True
+        fixed[name] = (new_r, new_l, new_c)
+
+    # -- merge zero-impedance sections into their parents -------------------
+    merged_into: Dict[str, str] = {}
+    if policy.merge_zero_impedance:
+        for name in tree.nodes:  # insertion order: parents before children
+            r, l, c = fixed[name]
+            if not all(math.isfinite(v) for v in (r, l, c)):
+                continue
+            if max(r, 0.0) == 0.0 and max(l, 0.0) == 0.0:
+                parent = tree.parent(name)
+                target = merged_into.get(parent, parent)
+                merged_into[name] = target
+                if target != tree.root and c > 0.0:
+                    pr, pl, pc = fixed[target]
+                    fixed[target] = (pr, pl, pc + max(c, 0.0))
+                changed = True
+                repaired_codes[(name, "zero-impedance")] = True
+
+    if not changed:
+        return tree, report
+
+    # Rebuilding needs every surviving section to be constructible; if
+    # unrepaired invalid values remain, hand back the original tree with
+    # the (partially repaired-marked) diagnostics stripped of the marks.
+    constructible = all(
+        all(math.isfinite(v) and v >= 0.0 for v in fixed[name])
+        and (fixed[name][0] > 0.0 or fixed[name][1] > 0.0)
+        for name in tree.nodes
+        if name not in merged_into
+    )
+    if not constructible:
+        return tree, report
+
+    rebuilt = RLCTree(tree.root)
+    for name in tree.nodes:
+        if name in merged_into:
+            continue
+        parent = tree.parent(name)
+        parent = merged_into.get(parent, parent)
+        r, l, c = fixed[name]
+        rebuilt.add_section(name, parent, section=Section(r, l, c))
+
+    updated = tuple(
+        d.applied() if repaired_codes.get((d.node, d.code)) else d
+        for d in report.diagnostics
+    )
+    return rebuilt, ValidationReport(updated)

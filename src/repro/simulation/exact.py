@@ -72,6 +72,12 @@ class ExactSimulator:
     @cached_property
     def _modal(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(eigenvalues w, eigenvector matrix V, modal input beta)."""
+        if not np.all(np.isfinite(self._space.a)):
+            raise SimulationError(
+                "state matrix contains non-finite entries; the tree's "
+                "element values overflow the 1/(RC) and R/L rates in "
+                "double precision — rescale to normalized units first"
+            )
         w, v = np.linalg.eig(self._space.a)
         condition = np.linalg.cond(v)
         if not np.isfinite(condition) or condition > 1e13:
@@ -133,7 +139,14 @@ class ExactSimulator:
         """
         if t_end is None:
             w = self._modal[0]
-            slowest = float(np.max(1.0 / np.abs(w.real)))
+            decay = np.abs(w.real)
+            decay = decay[decay > 0.0]
+            if decay.size == 0:
+                raise SimulationError(
+                    "every mode is undamped (all eigenvalues on the "
+                    "imaginary axis); pass t_end explicitly"
+                )
+            slowest = float(np.max(1.0 / decay))
             t_end = span_factor * slowest
         if t_end <= 0.0:
             raise SimulationError("time horizon must be positive")
@@ -250,7 +263,26 @@ class ExactSimulator:
     def settle_time_estimate(self) -> float:
         """Crude upper bound on when all modes have decayed to < 0.03%."""
         w = self._modal[0]
-        return float(8.0 / np.min(np.abs(w.real)))
+        fastest_decay = float(np.min(np.abs(w.real)))
+        if fastest_decay == 0.0:
+            raise SimulationError(
+                "an undamped mode never settles; no settle-time estimate"
+            )
+        return float(8.0 / fastest_decay)
+
+    def health_report(self) -> list:
+        """Numerical-health probes of the modal decomposition.
+
+        Runs the eigensolve (if not already cached) and returns the
+        :class:`~repro.robustness.health.HealthProbe` list for it:
+        finiteness, eigenvector conditioning, and the backward residual
+        of the decomposition. Raises :class:`SimulationError` only when
+        the decomposition itself cannot be produced at all.
+        """
+        from ..robustness.health import eigensystem_probes
+
+        w, v, _ = self._modal
+        return eigensystem_probes(self._space.a, w, v)
 
     def node_names(self) -> Tuple[str, ...]:
         return self._tree.nodes

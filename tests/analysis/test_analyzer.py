@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis import TreeAnalyzer, elmore_sums
 from repro.circuit import fig5_tree, scale_tree_to_zeta, single_line
-from repro.errors import TopologyError
+from repro.errors import ConfigurationError, ElementValueError, TopologyError
 from repro.circuit import RLCTree, Section
 
 
@@ -39,7 +39,7 @@ class TestPrimitives:
             TreeAnalyzer(RLCTree())
 
     def test_bad_band_rejected(self, fig5):
-        with pytest.raises(TopologyError):
+        with pytest.raises(ConfigurationError):
             TreeAnalyzer(fig5, settle_band=0.0)
 
 
@@ -71,7 +71,7 @@ class TestRCLimit:
     def test_rc_waveform_rejects_shaped_source(self, rc_line):
         from repro.simulation import StepSource
 
-        with pytest.raises(TopologyError, match="RC limit"):
+        with pytest.raises(ElementValueError, match="RC limit"):
             TreeAnalyzer(rc_line).waveform("n5", StepSource(), np.zeros(4))
 
     def test_rlc_delay_approaches_elmore_for_tiny_l(self):

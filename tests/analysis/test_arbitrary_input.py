@@ -14,7 +14,7 @@ from repro.analysis import (
     scaled_rise_exact,
 )
 from repro.circuit import fig5_tree, scale_tree_to_zeta
-from repro.errors import SimulationError, TopologyError
+from repro.errors import ElementValueError, SimulationError
 from repro.simulation import (
     ExactSimulator,
     ExponentialSource,
@@ -154,7 +154,7 @@ class TestAnalyzerIntegration:
         assert iterative.delay_50 == pytest.approx(fitted, rel=0.04)
 
     def test_rc_node_rejected(self, rc_line):
-        with pytest.raises(TopologyError, match="RC limit"):
+        with pytest.raises(ElementValueError, match="RC limit"):
             TreeAnalyzer(rc_line).metrics_for("n5", StepSource())
 
     def test_zero_final_value_rejected(self):

@@ -15,7 +15,7 @@ from repro.analysis import (
     scaled_rise_derivative,
 )
 from repro.circuit import Section, fig5_tree, fig8_tree, random_tree
-from repro.errors import TopologyError
+from repro.errors import ConfigurationError, TopologyError
 
 
 def finite_difference(tree, node, section, attribute, metric, h_rel=1e-6):
@@ -149,5 +149,5 @@ class TestGradientStructure:
     def test_validation(self, fig5):
         with pytest.raises(TopologyError):
             delay_sensitivities(fig5, "zzz")
-        with pytest.raises(TopologyError):
+        with pytest.raises(ConfigurationError):
             delay_sensitivities(fig5, "n7", metric="slew")

@@ -1,0 +1,128 @@
+"""Numerical-health probes and unit rescaling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import single_line
+from repro.errors import NumericalHealthError
+from repro.robustness import (
+    characteristic_scales,
+    eigensystem_probes,
+    rescale_tree,
+)
+
+pytestmark = pytest.mark.robustness
+
+
+class TestEigensystemProbes:
+    def test_healthy_decomposition(self):
+        a = np.diag([-1.0, -2.0, -3.0])
+        w, v = np.linalg.eig(a)
+        probes = eigensystem_probes(a, w, v)
+        assert all(p.ok for p in probes)
+        names = [p.name for p in probes]
+        assert names == ["finite", "eigenvector-condition",
+                         "eigensolve-residual"]
+
+    def test_non_finite_matrix_trips_first_probe(self):
+        a = np.array([[np.inf, 0.0], [0.0, -1.0]])
+        w = np.array([np.inf, -1.0])
+        v = np.eye(2)
+        probes = eigensystem_probes(a, w, v)
+        assert not probes[0].ok
+        assert len(probes) == 1  # later probes are meaningless
+
+    def test_ill_conditioned_eigenvectors_trip(self):
+        # Nearly parallel eigenvectors: huge condition number.
+        a = np.array([[-1.0, 1e9], [0.0, -1.0 - 1e-9]])
+        w, v = np.linalg.eig(a)
+        probes = eigensystem_probes(a, w, v, condition_limit=1e6)
+        tripped = [p for p in probes if not p.ok]
+        assert any(p.name == "eigenvector-condition" for p in tripped)
+
+    def test_never_raises(self):
+        a = np.full((3, 3), np.nan)
+        eigensystem_probes(a, np.full(3, np.nan), np.full((3, 3), np.nan))
+
+
+class TestCharacteristicScales:
+    def test_uniform_line(self):
+        tree = single_line(4, resistance=100.0, inductance=1e-9,
+                           capacitance=1e-12)
+        tau, z = characteristic_scales(tree)
+        # Dominant constant per section: max(RC, sqrt(LC), L/R) = 1e-10.
+        assert tau == pytest.approx(1e-10, rel=1e-9)
+        assert z == pytest.approx(100.0, rel=1e-9)
+
+    def test_subnormal_values_survive(self):
+        tree = single_line(2, resistance=1.0, inductance=0.0,
+                           capacitance=1e-310)
+        tau, z = characteristic_scales(tree)
+        assert math.isfinite(tau) and tau > 0.0
+        assert tau == pytest.approx(1e-310, rel=1e-6)
+
+    def test_no_usable_constants_fall_back_to_one(self):
+        tree = single_line(2, resistance=1.0, inductance=0.0,
+                           capacitance=0.0)
+        tau, z = characteristic_scales(tree)
+        assert tau == 1.0
+        assert z == pytest.approx(1.0)
+
+
+class TestRescaleTree:
+    def test_time_constants_divide_by_tau(self):
+        tree = single_line(3, resistance=50.0, inductance=2e-9,
+                           capacitance=0.5e-12)
+        tau = 1e-10
+        scaled = rescale_tree(tree, tau)
+        for name, original in tree.sections():
+            s = scaled.section(name)
+            assert s.resistance * s.capacitance == pytest.approx(
+                original.resistance * original.capacitance / tau
+            )
+            assert s.inductance / s.resistance == pytest.approx(
+                original.inductance / original.resistance / tau
+            )
+
+    def test_impedance_scale_preserves_time_constants(self):
+        tree = single_line(3, resistance=50.0, inductance=2e-9,
+                           capacitance=0.5e-12)
+        scaled = rescale_tree(tree, 1.0, impedance_scale=50.0)
+        for name, original in tree.sections():
+            s = scaled.section(name)
+            assert s.resistance * s.capacitance == pytest.approx(
+                original.resistance * original.capacitance
+            )
+
+    def test_delay_scaling_law(self):
+        from repro import TreeAnalyzer
+
+        tree = single_line(4, resistance=30.0, inductance=4e-9,
+                           capacitance=0.3e-12)
+        tau, z = characteristic_scales(tree)
+        scaled = rescale_tree(tree, tau, z)
+        node = tree.nodes[-1]
+        original = TreeAnalyzer(tree).delay_50(node)
+        normalized = TreeAnalyzer(scaled).delay_50(node)
+        assert tau * normalized == pytest.approx(original, rel=1e-12)
+
+    def test_subnormal_rescale_round_trip(self):
+        tree = single_line(2, resistance=1.0, inductance=0.0,
+                           capacitance=1e-310)
+        tau, z = characteristic_scales(tree)
+        scaled = rescale_tree(tree, tau, z)
+        for _, s in scaled.sections():
+            # Normalized units: all values O(1) and representable.
+            assert math.isfinite(s.resistance)
+            assert math.isfinite(s.capacitance)
+            assert s.capacitance > 1e-6
+
+    def test_bad_scales_rejected(self, fig5):
+        with pytest.raises(NumericalHealthError):
+            rescale_tree(fig5, 0.0)
+        with pytest.raises(NumericalHealthError):
+            rescale_tree(fig5, float("nan"))
+        with pytest.raises(NumericalHealthError):
+            rescale_tree(fig5, 1.0, impedance_scale=float("inf"))

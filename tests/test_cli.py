@@ -188,3 +188,87 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+@pytest.mark.robustness
+class TestExitCodes:
+    """The CLI contract: an answer, or one line on stderr and a nonzero
+    exit code — never a traceback (unless --debug asks for one)."""
+
+    def test_success_is_zero(self, netlist_path):
+        assert main(["analyze", netlist_path]) == 0
+
+    def test_repro_error_is_two_with_one_line(self, netlist_path, capsys):
+        # An out-of-range settle band is a ConfigurationError.
+        code = main(["analyze", netlist_path, "--settle-band", "7.0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_missing_file_is_two(self, capsys):
+        assert main(["analyze", "/no/such/file.sp"]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_debug_reraises(self, netlist_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["--debug", "analyze", netlist_path, "--settle-band", "7.0"])
+
+    def test_rc_limit_simulate_model_is_typed(self, tmp_path, capsys):
+        from repro.circuit import dumps, single_line
+
+        rc = single_line(3, resistance=100.0, inductance=0.0,
+                         capacitance=0.1e-12)
+        path = tmp_path / "rc.sp"
+        path.write_text(dumps(rc))
+        code = main(["simulate", str(path), "--node", "n3", "--points",
+                     "11", "--model"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_guarded_analyze_warns_on_hostile_netlist(self, tmp_path,
+                                                      capsys):
+        from repro.circuit import RLCTree, dumps
+
+        tree = RLCTree()
+        tree.add_section("a", "in", resistance=1e-6, inductance=0.0,
+                         capacitance=1e-12)
+        tree.add_section("b", "a", resistance=1e9, inductance=0.0,
+                         capacitance=1e-12)
+        path = tmp_path / "hostile.sp"
+        path.write_text(dumps(tree))
+        assert main(["analyze", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "dynamic-range" in captured.err
+        assert "a" in captured.out and "b" in captured.out
+
+    def test_unguarded_flag_still_works(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--unguarded", "--csv"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("node,zeta,")
+
+    def test_repair_flag_rescues_zero_capacitance(self, tmp_path, capsys):
+        # An explicit C = 0 line survives netlist parsing (an omitted
+        # one would make loads() fold the node away).
+        path = tmp_path / "zeroc.sp"
+        path.write_text(
+            "* zero-capacitance node\n"
+            "Vin in 0 PWL\n"
+            "Rn1 in n1__m 10.0\n"
+            "Ln1 n1__m n1 1e-09\n"
+            "Cn1 n1 0 1e-13\n"
+            "Rn2 n1 n2__m 10.0\n"
+            "Ln2 n2__m n2 1e-09\n"
+            "Cn2 n2 0 0\n"
+            "Rn3 n2 n3__m 10.0\n"
+            "Ln3 n3__m n3 1e-09\n"
+            "Cn3 n3 0 1e-13\n"
+            ".end\n"
+        )
+        assert main(["analyze", str(path), "--repair", "--csv"]) == 0
+        captured = capsys.readouterr()
+        assert "n2" in captured.out
+        assert "zero-capacitance" in captured.err
