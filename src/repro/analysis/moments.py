@@ -131,26 +131,57 @@ def second_order_sums(tree: RLCTree) -> Tuple[Dict[str, float], Dict[str, float]
     return t_rc, t_lc
 
 
+def _single_weighted_sums(tree: RLCTree, attribute: str) -> Dict[str, float]:
+    """Path sums of one element kind times the capacitive loads.
+
+    Half of ``Cal_Summations``: the loads pass plus one preorder pass
+    with a *single* multiplication per section, for callers that want
+    only ``T_RC`` or only ``T_LC`` without paying for the other.
+    """
+    loads = capacitive_loads(tree)
+    sums: Dict[str, float] = {}
+    for name in tree.preorder():
+        value = getattr(tree.section(name), attribute)
+        parent = tree.parent(name)
+        upstream = sums[parent] if parent != tree.root else 0.0
+        sums[name] = upstream + value * loads[name]
+    return sums
+
+
 def elmore_sums(tree: RLCTree) -> Dict[str, float]:
     """``T_RC`` (the Elmore time constant sum) at every node, O(n)."""
-    return second_order_sums(tree)[0]
+    return _single_weighted_sums(tree, "resistance")
 
 
 def inductance_sums(tree: RLCTree) -> Dict[str, float]:
     """``T_LC`` at every node, O(n)."""
-    return second_order_sums(tree)[1]
+    return _single_weighted_sums(tree, "inductance")
 
 
-def exact_moments(tree: RLCTree, order: int) -> Dict[str, List[float]]:
-    """Exact transfer-function moments ``m_0 .. m_order`` at every node.
+def exact_moments(
+    tree: RLCTree, order: int, nodes: Sequence[str] | None = None
+) -> Dict[str, List[float]]:
+    """Exact transfer-function moments ``m_0 .. m_order`` per node.
 
     ``m_j`` is the coefficient of ``s^j`` in the node's exact normalized
     transfer function (eq. 11). ``m_0 = 1``; each further order is one
     O(n) weighted-path-sum sweep, so the total cost is O(n * order).
+
+    The recursion inherently spans the whole tree (every node's moment
+    feeds every ancestor's next order), but when ``nodes`` is given only
+    those nodes' histories are kept and returned.
     """
     if order < 0:
         raise ReductionError("moment order must be non-negative")
-    moments: Dict[str, List[float]] = {name: [1.0] for name in tree.nodes}
+    if nodes is None:
+        selected: Tuple[str, ...] = tree.nodes
+    else:
+        selected = tuple(nodes)
+        known = set(tree.nodes)
+        for name in selected:
+            if name not in known:
+                raise ReductionError(f"unknown node {name!r}")
+    moments: Dict[str, List[float]] = {name: [1.0] for name in selected}
     previous: Dict[str, float] = {name: 1.0 for name in tree.nodes}
     before_previous: Dict[str, float] = {name: 0.0 for name in tree.nodes}
 
@@ -165,7 +196,7 @@ def exact_moments(tree: RLCTree, order: int) -> Dict[str, List[float]]:
         }
         sums = weighted_path_sums(tree, w_r, w_l)
         current = {name: -sums[name] for name in tree.nodes}
-        for name in tree.nodes:
+        for name in selected:
             moments[name].append(current[name])
         before_previous = previous
         previous = current
@@ -203,7 +234,7 @@ class MomentSummary:
 def moment_summary(tree: RLCTree, nodes: Sequence[str] | None = None) -> Dict[str, MomentSummary]:
     """Per-node :class:`MomentSummary` for ``nodes`` (default: all)."""
     t_rc, t_lc = second_order_sums(tree)
-    exact = exact_moments(tree, 2)
+    exact = exact_moments(tree, 2, nodes)
     selected = tree.nodes if nodes is None else tuple(nodes)
     return {
         name: MomentSummary(

@@ -33,6 +33,7 @@ from ..analysis.analyzer import TreeAnalyzer
 from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
+from ..engine import timing_table
 from ..errors import ReproError
 from ..robustness.guarded import shielded
 
@@ -55,9 +56,19 @@ def apply_widths(tree: RLCTree, widths: Dict[str, float]) -> RLCTree:
 
 @shielded
 def model_skew(tree: RLCTree) -> float:
-    """Closed-form skew: max - min sink delay."""
-    analyzer = TreeAnalyzer(tree)
-    delays = [analyzer.delay_50(sink) for sink in tree.leaves()]
+    """Closed-form skew: max - min sink delay.
+
+    All sink delays come out of one engine table evaluation (one pair of
+    vectorized tree sweeps) rather than per-sink queries; descent
+    iterations over resized copies of one tree reuse the compiled
+    topology.
+    """
+    table = timing_table(tree)
+    if table is not None:
+        delays = [table.value("delay_50", sink) for sink in tree.leaves()]
+    else:
+        analyzer = TreeAnalyzer(tree)
+        delays = [analyzer.delay_50(sink) for sink in tree.leaves()]
     return max(delays) - min(delays)
 
 

@@ -24,11 +24,11 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import stats
 
-from ..analysis.analyzer import TreeAnalyzer
 from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
-from ..errors import ReproError
+from ..engine import analyze_batch, compile_tree
+from ..errors import ElementValueError, ReproError
 from ..robustness.guarded import shielded
 from ..simulation.exact import ExactSimulator
 from ..simulation.measures import delay_50 as measure_delay_50
@@ -61,13 +61,22 @@ class VariationModel:
             if not 0.0 <= value < 1.0:
                 raise ReproError(f"{label} must be in [0, 1), got {value!r}")
 
-    def sample_tree(self, tree: RLCTree, rng: np.random.Generator) -> RLCTree:
-        """One perturbed copy of ``tree``."""
-        sigmas = (
+    def log_sigmas(self) -> Tuple[float, float, float]:
+        """Standard deviations of the underlying normals (R, L, C).
+
+        The log-normal factor ``exp(N(-s^2/2, s))`` with
+        ``s = sqrt(log1p(sigma^2))`` has mean 1 and relative standard
+        deviation ``sigma``.
+        """
+        return (
             math.sqrt(math.log1p(self.sigma_resistance**2)),
             math.sqrt(math.log1p(self.sigma_inductance**2)),
             math.sqrt(math.log1p(self.sigma_capacitance**2)),
         )
+
+    def sample_tree(self, tree: RLCTree, rng: np.random.Generator) -> RLCTree:
+        """One perturbed copy of ``tree``."""
+        sigmas = self.log_sigmas()
 
         def jitter(_name: str, section: Section) -> Section:
             factors = [
@@ -127,6 +136,23 @@ class VariationStudy:
         return float(rho)
 
 
+def _tree_from_factors(
+    tree: RLCTree, names: Tuple[str, ...], factors: np.ndarray
+) -> RLCTree:
+    """Rebuild the perturbed :class:`RLCTree` of one ``(3, n)`` factor row."""
+    index = {name: i for i, name in enumerate(names)}
+
+    def jitter(name: str, section: Section) -> Section:
+        i = index[name]
+        return Section(
+            section.resistance * factors[0, i],
+            section.inductance * factors[1, i],
+            section.capacitance * factors[2, i],
+        )
+
+    return tree.map_sections(jitter)
+
+
 @shielded
 def sample_delays(
     tree: RLCTree,
@@ -137,6 +163,12 @@ def sample_delays(
     seed: int = 0,
 ) -> VariationStudy:
     """Monte-Carlo delay distribution at ``node``.
+
+    The closed-form samples are evaluated as one batch over the compiled
+    topology (:func:`repro.engine.analyze_batch`): the tree is flattened
+    once, all S log-normal factor draws land in an ``(S, 3, n)`` block,
+    and every sample's ``delay_50``/Elmore delay comes out of a single
+    vectorized pass instead of S tree rebuilds and analyzer runs.
 
     ``exact_samples`` of the draws (the first ones, so they share the
     model draws) are additionally simulated exactly — expensive, so keep
@@ -149,20 +181,34 @@ def sample_delays(
     if node not in tree:
         raise ReproError(f"unknown node {node!r}")
     rng = np.random.default_rng(seed)
-    rlc = np.empty(samples)
-    rc = np.empty(samples)
+    compiled = compile_tree(tree)
+    # Draw in (sample, section, element) order with the same expression
+    # as VariationModel.sample_tree, so the factor block is bitwise
+    # identical to what the per-sample loop would have produced.
+    sig = np.asarray(variation.log_sigmas())
+    z = rng.standard_normal((samples, compiled.size, 3))
+    factors = np.exp(-0.5 * sig * sig + sig * z).transpose(0, 2, 1)
+    nominal = np.stack(
+        [compiled.resistance, compiled.inductance, compiled.capacitance]
+    )
+    batch = analyze_batch(
+        compiled, factors * nominal, metrics=("delay_50", "t_rc")
+    )
+    rlc = np.array(batch.column("delay_50", node))
+    rc = math.log(2.0) * batch.column("t_rc", node)
+    if not (np.all(np.isfinite(rlc)) and np.all(np.isfinite(rc))):
+        # Log-normal factors keep values positive, so this means the
+        # nominal tree itself was out of the closed forms' domain.
+        raise ElementValueError(
+            f"variation samples at node {node!r} fell outside the "
+            "closed-form domain; check the nominal element values"
+        )
     exact = np.empty(exact_samples)
-    for index in range(samples):
-        perturbed = variation.sample_tree(tree, rng)
-        analyzer = TreeAnalyzer(perturbed)
-        rlc[index] = analyzer.delay_50(node)
-        rc[index] = analyzer.elmore_delay(node)
-        if index < exact_samples:
-            simulator = ExactSimulator(perturbed)
-            t = simulator.time_grid(points=4001, span_factor=12.0)
-            exact[index] = measure_delay_50(
-                t, simulator.step_response(node, t)
-            )
+    for index in range(exact_samples):
+        perturbed = _tree_from_factors(tree, compiled.names, factors[index])
+        simulator = ExactSimulator(perturbed)
+        t = simulator.time_grid(points=4001, span_factor=12.0)
+        exact[index] = measure_delay_50(t, simulator.step_response(node, t))
     return VariationStudy(
         node=node,
         rlc=DelaySamples(values=rlc),

@@ -32,6 +32,7 @@ from ..analysis.analyzer import TreeAnalyzer
 from ..circuit.builders import distributed_line
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
+from ..engine import timing_table
 from ..errors import ReproError
 from ..robustness.guarded import shielded
 
@@ -107,9 +108,17 @@ class WireSizingProblem:
         return f"n{self.num_sections}"
 
     def delay(self, width: float, model: DelayModel = "rlc") -> float:
-        """Closed-form 50% delay at the receiver for one width."""
-        analyzer = TreeAnalyzer(self.tree(width, model))
-        return analyzer.delay_50(self.sink())
+        """Closed-form 50% delay at the receiver for one width.
+
+        Every width shares one topology, so the engine's compiled
+        structure is reused across optimizer evaluations; only the value
+        vectors are re-extracted per width.
+        """
+        tree = self.tree(width, model)
+        table = timing_table(tree)
+        if table is not None:
+            return table.value("delay_50", self.sink())
+        return TreeAnalyzer(tree).delay_50(self.sink())
 
     def _check_width(self, width: float) -> None:
         if not (self.min_width <= width <= self.max_width):

@@ -1,0 +1,65 @@
+"""The compiled vectorized analysis engine.
+
+The paper's complexity argument (Appendix: O(n), two multiplications per
+section) only pays off in Python when the constant factor is array-sized
+rather than interpreter-sized. This package flattens an
+:class:`~repro.circuit.tree.RLCTree` into NumPy arrays **once** and then
+evaluates every tree sweep and every closed-form metric as vectorized
+kernels:
+
+* :mod:`~repro.engine.compiled` — :class:`CompiledTopology` (permutation,
+  parent-index vector, CSR child offsets, level grouping) and
+  :class:`CompiledTree` (topology + per-section R/L/C value vectors),
+  with a topology-fingerprint cache so value-only perturbations of the
+  same tree shape skip the structural compile entirely;
+* :mod:`~repro.engine.kernels` — the closed-form metric formulas
+  (eqs. 29-30, 33-36, 39-42) as masked ufunc-style kernels over
+  ``(T_RC, T_LC)`` arrays, with the RC limit (``T_LC == 0``) handled by
+  elementwise masking;
+* :mod:`~repro.engine.table` — :class:`TimingTable` (the full-tree
+  vectorized equivalent of ``TreeAnalyzer.report()``) and
+  :func:`analyze_batch`, which evaluates S value-scenarios x N nodes in
+  one stacked ``(S, N)`` array pass — the shape of Monte-Carlo variation,
+  wire-sizing and clock-tuning workloads.
+
+The engine is an accelerator, not a second implementation of the
+physics: its kernels mirror the scalar formulas of
+:mod:`repro.analysis` operation for operation, and the property suite
+pins it against both the dict-based sweeps and the O(n^2) path-tracing
+oracle to 1e-12 relative. See ``docs/PERFORMANCE.md`` for the
+architecture and measured speedups (``BENCH_engine.json``).
+"""
+
+from .compiled import (
+    CompiledTopology,
+    CompiledTree,
+    clear_topology_cache,
+    compile_tree,
+    topology_cache_info,
+    topology_fingerprint,
+)
+from .kernels import MetricArrays, fast_path_eligible, metrics_from_sums
+from .table import (
+    BatchTiming,
+    TimingTable,
+    analyze_batch,
+    evaluate,
+    timing_table,
+)
+
+__all__ = [
+    "CompiledTopology",
+    "CompiledTree",
+    "compile_tree",
+    "topology_fingerprint",
+    "clear_topology_cache",
+    "topology_cache_info",
+    "MetricArrays",
+    "metrics_from_sums",
+    "fast_path_eligible",
+    "TimingTable",
+    "BatchTiming",
+    "evaluate",
+    "analyze_batch",
+    "timing_table",
+]

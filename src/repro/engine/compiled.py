@@ -1,0 +1,375 @@
+"""Tree flattening: :class:`CompiledTopology`, :class:`CompiledTree`.
+
+An :class:`~repro.circuit.tree.RLCTree` stores its structure as dicts of
+names — ideal for incremental construction and validation, hostile to
+array math. Compilation separates the two concerns the way the paper's
+Appendix separates them: the *structure* (which node feeds which) is
+fixed per net, while the *values* (R/L/C per section) are what design
+loops perturb thousands of times.
+
+:class:`CompiledTopology` holds the structure only:
+
+* ``names`` — the nodes in insertion order, which
+  :meth:`RLCTree.add_section` guarantees is topological (parent before
+  child);
+* ``parent`` — the parent slot of every node, with a sentinel slot ``n``
+  standing in for the root;
+* CSR children (``child_offsets`` / ``child_indices``) for subtree
+  queries;
+* per-level index groups, siblings contiguous, which is what lets the
+  two depth-first passes of the Appendix (``Cal_Cap_Loads`` /
+  ``Cal_Summations``) run as one vectorized gather/segment-sum per tree
+  level instead of one dict operation per node.
+
+:class:`CompiledTree` pairs a topology with three value vectors. Both
+sweep directions accept arrays of shape ``(..., n)``, so a single code
+path serves one tree and a stacked ``(S, n)`` batch of S value
+scenarios.
+
+Because design loops (Monte-Carlo variation, wire sizing, clock tuning)
+rebuild trees with identical structure, :func:`compile_tree` keys a
+small LRU cache on :func:`topology_fingerprint` — a pure-structure key —
+and re-extracts only the value vectors on a hit. Values are read from
+the tree on *every* call, so a cache hit can never serve stale element
+values; only the permutation/level arrays are shared.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.tree import RLCTree
+from ..errors import ReductionError, TopologyError
+
+__all__ = [
+    "CompiledTopology",
+    "CompiledTree",
+    "topology_fingerprint",
+    "compile_tree",
+    "clear_topology_cache",
+    "topology_cache_info",
+]
+
+
+def topology_fingerprint(tree: RLCTree) -> Tuple:
+    """A hashable key identifying the tree's *structure* only.
+
+    Two trees share a fingerprint exactly when they have the same root
+    name, the same nodes in the same insertion order, and the same
+    parent for every node — element values are deliberately excluded,
+    which is what lets value-only perturbations reuse a compiled
+    topology.
+    """
+    names = tree.nodes
+    return (tree.root, names, tuple(tree.parent(name) for name in names))
+
+
+@dataclass(frozen=True)
+class _LevelGroup:
+    """One tree level, pre-sorted so siblings are contiguous.
+
+    ``nodes`` are the level's node slots ordered by (parent slot,
+    insertion order); ``parents``/``starts``/``ends`` describe the
+    sibling segments: children of ``parents[i]`` occupy
+    ``nodes[starts[i]:ends[i]]``.
+    """
+
+    nodes: np.ndarray
+    parents: np.ndarray
+    starts: np.ndarray
+    ends: np.ndarray
+
+
+class CompiledTopology:
+    """The structure of one RLC tree, flattened to index arrays."""
+
+    def __init__(self, root: str, names: Tuple[str, ...], parent: np.ndarray):
+        n = len(names)
+        self.root = root
+        self.names = names
+        self.size = n
+        self.index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        #: parent slot per node; the sentinel ``n`` stands for the root.
+        self.parent = parent
+
+        # Levels: level of node i is level(parent) + 1; root is level 0.
+        level = np.empty(n, dtype=np.intp)
+        for i in range(n):
+            p = parent[i]
+            level[i] = 1 if p == n else level[p] + 1
+        self.level = level
+        self.depth = int(level.max()) if n else 0
+
+        # Per-level groups with siblings contiguous (stable sort by
+        # parent keeps siblings in insertion order, matching the dict
+        # traversals' accumulation order).
+        groups: List[_LevelGroup] = []
+        for lvl in range(1, self.depth + 1):
+            nodes = np.flatnonzero(level == lvl)
+            order = np.argsort(parent[nodes], kind="stable")
+            nodes = nodes[order]
+            parents, starts = np.unique(parent[nodes], return_index=True)
+            ends = np.append(starts[1:], nodes.size)
+            groups.append(_LevelGroup(nodes, parents, starts, ends))
+        self.levels: Tuple[_LevelGroup, ...] = tuple(groups)
+
+        # CSR children over non-root nodes (root's children are level 1).
+        counts = np.zeros(n + 1, dtype=np.intp)
+        for i in range(n):
+            counts[parent[i]] += 1
+        offsets = np.zeros(n + 2, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        child_indices = np.empty(n, dtype=np.intp)
+        cursor = offsets[:-1].copy()
+        for i in range(n):  # insertion order -> children stored in order
+            p = parent[i]
+            child_indices[cursor[p]] = i
+            cursor[p] += 1
+        #: children of node i are child_indices[child_offsets[i]:child_offsets[i+1]];
+        #: slot ``n`` holds the root's children.
+        self.child_offsets = offsets[:-1]
+        self.child_ends = offsets[1:]
+        self.child_indices = child_indices
+
+    @classmethod
+    def from_tree(cls, tree: RLCTree) -> "CompiledTopology":
+        names = tree.nodes
+        n = len(names)
+        index = {name: i for i, name in enumerate(names)}
+        parent = np.empty(n, dtype=np.intp)
+        for i, name in enumerate(names):
+            p = tree.parent(name)
+            parent[i] = n if p == tree.root else index[p]
+        return cls(tree.root, names, parent)
+
+    # -- vectorized sweeps -------------------------------------------------
+
+    def accumulate(self, weights: np.ndarray) -> np.ndarray:
+        """Subtree totals of per-node ``weights`` (``Cal_Cap_Loads``).
+
+        ``weights`` has shape ``(..., n)``; the return value is the sum
+        of each node's own weight plus its whole subtree's. One
+        segment-sum per level, deepest first — additions only, exactly
+        the Appendix's postorder pass.
+        """
+        acc = np.array(weights, dtype=float, copy=True)
+        for group in self.levels[:0:-1]:  # deepest level down to level 2
+            gathered = np.cumsum(acc[..., group.nodes], axis=-1)
+            padded = np.concatenate(
+                [np.zeros(gathered.shape[:-1] + (1,)), gathered], axis=-1
+            )
+            acc[..., group.parents] += (
+                padded[..., group.ends] - padded[..., group.starts]
+            )
+        return acc
+
+    def descend(self, contrib: np.ndarray) -> np.ndarray:
+        """Root-to-node prefix sums of ``contrib`` (``Cal_Summations``).
+
+        ``out[i] = out[parent(i)] + contrib[i]`` with the root
+        contributing zero; one gather + add per level, shallow first.
+        """
+        contrib = np.asarray(contrib, dtype=float)
+        n = self.size
+        out = np.zeros(contrib.shape[:-1] + (n + 1,))
+        for group in self.levels:
+            idx = group.nodes
+            out[..., idx] = out[..., self.parent[idx]] + contrib[..., idx]
+        return out[..., :n]
+
+    def descend2(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        """Prefix sums of two addends with the dict sweep's association.
+
+        Evaluates ``out[i] = (out[parent(i)] + first[i]) + second[i]``,
+        the exact floating-point grouping of
+        :func:`repro.analysis.moments.weighted_path_sums`.
+        """
+        first = np.asarray(first, dtype=float)
+        second = np.asarray(second, dtype=float)
+        n = self.size
+        out = np.zeros(first.shape[:-1] + (n + 1,))
+        for group in self.levels:
+            idx = group.nodes
+            out[..., idx] = (
+                out[..., self.parent[idx]] + first[..., idx]
+            ) + second[..., idx]
+        return out[..., :n]
+
+    # -- structural queries ------------------------------------------------
+
+    def children(self, slot: int) -> np.ndarray:
+        """Child slots of node ``slot`` (pass ``size`` for the root)."""
+        return self.child_indices[self.child_offsets[slot]:self.child_ends[slot]]
+
+    def node_index(self, name: str) -> int:
+        try:
+            return self.index[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTopology(root={self.root!r}, sections={self.size}, "
+            f"depth={self.depth})"
+        )
+
+
+@dataclass(frozen=True)
+class CompiledTree:
+    """A compiled topology plus one set of R/L/C value vectors.
+
+    The value vectors are indexed by the topology's node order
+    (``topology.names``). :meth:`with_values` swaps values without
+    touching the structure arrays — the cheap operation design sweeps
+    repeat thousands of times.
+    """
+
+    topology: CompiledTopology
+    resistance: np.ndarray
+    inductance: np.ndarray
+    capacitance: np.ndarray
+
+    @classmethod
+    def from_tree(
+        cls, tree: RLCTree, topology: Optional[CompiledTopology] = None
+    ) -> "CompiledTree":
+        if topology is None:
+            topology = CompiledTopology.from_tree(tree)
+        n = topology.size
+        sections = [tree.section(name) for name in topology.names]
+        r = np.fromiter((s.resistance for s in sections), dtype=float, count=n)
+        l = np.fromiter((s.inductance for s in sections), dtype=float, count=n)
+        c = np.fromiter((s.capacitance for s in sections), dtype=float, count=n)
+        return cls(topology, r, l, c)
+
+    def with_values(
+        self,
+        resistance: np.ndarray,
+        inductance: np.ndarray,
+        capacitance: np.ndarray,
+    ) -> "CompiledTree":
+        """The same structure with new per-section value vectors."""
+        n = self.topology.size
+        arrays = []
+        for label, values in (
+            ("resistance", resistance),
+            ("inductance", inductance),
+            ("capacitance", capacitance),
+        ):
+            values = np.asarray(values, dtype=float)
+            if values.shape != (n,):
+                raise ReductionError(
+                    f"{label} vector must have shape ({n},), got {values.shape}"
+                )
+            arrays.append(values)
+        return CompiledTree(self.topology, *arrays)
+
+    @property
+    def size(self) -> int:
+        return self.topology.size
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self.topology.names
+
+    # -- the Appendix sweeps, vectorized -----------------------------------
+
+    def capacitive_loads(self) -> np.ndarray:
+        """Subtree capacitance per node (``Cal_Cap_Loads``)."""
+        return self.topology.accumulate(self.capacitance)
+
+    def second_order_sums(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(T_RC, T_LC)`` arrays at every node (eqs. 26-27), O(n)."""
+        loads = self.capacitive_loads()
+        t_rc = self.topology.descend(self.resistance * loads)
+        t_lc = self.topology.descend(self.inductance * loads)
+        return t_rc, t_lc
+
+    def weighted_path_sums(
+        self, resistance_weights: np.ndarray, inductance_weights: np.ndarray
+    ) -> np.ndarray:
+        """The generalized ``Cal_Summations`` kernel on arrays.
+
+        Mirrors :func:`repro.analysis.moments.weighted_path_sums`:
+        subtree totals of both weight sets, then one downward pass with
+        two multiplications per section.
+        """
+        sub_r = self.topology.accumulate(resistance_weights)
+        sub_l = self.topology.accumulate(inductance_weights)
+        return self.topology.descend2(
+            self.resistance * sub_r, self.inductance * sub_l
+        )
+
+    def exact_moments(self, order: int) -> np.ndarray:
+        """Exact moments ``m_0..m_order`` at every node, shape
+        ``(order + 1, n)`` — the vectorized twin of
+        :func:`repro.analysis.moments.exact_moments`."""
+        if order < 0:
+            raise ReductionError("moment order must be non-negative")
+        n = self.size
+        rows = [np.ones(n)]
+        previous = rows[0]
+        before_previous = np.zeros(n)
+        for _ in range(order):
+            current = -self.weighted_path_sums(
+                self.capacitance * previous,
+                self.capacitance * before_previous,
+            )
+            rows.append(current)
+            before_previous, previous = previous, current
+        return np.stack(rows, axis=0)
+
+
+# -- the topology cache ----------------------------------------------------
+
+_CACHE_MAXSIZE = 128
+_cache: "OrderedDict[Tuple, CompiledTopology]" = OrderedDict()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def compile_tree(tree: RLCTree, *, cache: bool = True) -> CompiledTree:
+    """Flatten ``tree`` into a :class:`CompiledTree`.
+
+    With ``cache=True`` (the default) the structural compile is keyed on
+    :func:`topology_fingerprint`, so repeated calls for value-perturbed
+    copies of one net pay only the O(n) value extraction. Element values
+    are always read fresh from ``tree``.
+    """
+    global _cache_hits, _cache_misses
+    if not cache:
+        return CompiledTree.from_tree(tree)
+    key = topology_fingerprint(tree)
+    topology = _cache.get(key)
+    if topology is None:
+        _cache_misses += 1
+        topology = CompiledTopology.from_tree(tree)
+        _cache[key] = topology
+        if len(_cache) > _CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+    else:
+        _cache_hits += 1
+        _cache.move_to_end(key)
+    return CompiledTree.from_tree(tree, topology)
+
+
+def clear_topology_cache() -> None:
+    """Empty the topology cache and reset its counters."""
+    global _cache_hits, _cache_misses
+    _cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def topology_cache_info() -> Dict[str, int]:
+    """``{"hits", "misses", "size", "maxsize"}`` of the topology cache."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "size": len(_cache),
+        "maxsize": _CACHE_MAXSIZE,
+    }

@@ -335,6 +335,14 @@ class GuardedAnalyzer:
     def _tier_closed_form(
         self, metric: str, node: str
     ) -> Tuple[float, bool, str]:
+        # The engine's table and the analyzer's per-node accessors read
+        # the same arrays, so tier answers stay identical to direct
+        # TreeAnalyzer queries; the table path just skips per-call
+        # dispatch. Ineligible trees fall back to the scalar accessors,
+        # whose typed errors the tier chain records.
+        table = self._analyzer.timing_table()
+        if table is not None:
+            return float(table.value(metric, node)), False, ""
         method = {
             "delay_50": self._analyzer.delay_50,
             "rise_time": self._analyzer.rise_time,

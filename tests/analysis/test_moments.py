@@ -153,3 +153,20 @@ class TestComplexity:
             line = single_line(n, resistance=1.0, inductance=1e-9,
                                capacitance=1e-12)
             assert multiplication_count(line) == 2 * n
+
+
+class TestSelectiveMoments:
+    def test_nodes_subset_matches_full_run(self, fig8):
+        full = exact_moments(fig8, 3)
+        subset = exact_moments(fig8, 3, ["out"])
+        assert set(subset) == {"out"}
+        assert subset["out"] == full["out"]
+
+    def test_unknown_node_rejected(self, fig8):
+        with pytest.raises(ReductionError):
+            exact_moments(fig8, 2, ["zzz"])
+
+    def test_single_quantity_sums_match_pair(self, fig8):
+        t_rc, t_lc = second_order_sums(fig8)
+        assert elmore_sums(fig8) == pytest.approx(t_rc, rel=1e-15)
+        assert inductance_sums(fig8) == pytest.approx(t_lc, rel=1e-15)
