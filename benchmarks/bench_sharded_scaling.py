@@ -1,0 +1,58 @@
+"""Sharded dispatch scaling — multi-process shards vs the serial engine.
+
+Pytest front end for the sharded half of ``run_benchmarks.py``: the
+``perf``-marked quick test is the CI smoke gate (sharded results must be
+bitwise identical to serial everywhere, and at least 2x faster on
+machines with >= 4 cores), and the unmarked report test regenerates the
+numbers behind ``BENCH_sharded.json`` at the repository root. Run with::
+
+    pytest benchmarks/bench_sharded_scaling.py -m perf -s        # quick
+    pytest benchmarks/bench_sharded_scaling.py -m "not perf" -s  # full
+"""
+
+import json
+
+import pytest
+
+import run_benchmarks
+
+
+@pytest.mark.perf
+def test_sharded_matches_serial_quick(tmp_path):
+    """The --quick contract: zero drift, and the speedup target where
+    the core count makes it meaningful."""
+    results = run_benchmarks.run_sharded(quick=True)
+    (tmp_path / "BENCH_sharded.json").write_text(
+        json.dumps(results, indent=2)
+    )
+    failures = run_benchmarks.check_sharded(results)
+    assert not failures, failures
+
+
+def test_sharded_scaling_report(report):
+    """Full-scale run; writes BENCH_sharded.json at the repo root."""
+    results = run_benchmarks.run_sharded(quick=False)
+    run_benchmarks.RESULT_SHARDED_PATH.write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    rows = []
+    for label in ("many_trees", "batch"):
+        row = results[label]
+        work = (
+            f"{row['trees']}x{row['sections']} trees"
+            if label == "many_trees"
+            else f"{row['scenarios']}x{row['sections']} scen"
+        )
+        rows.append(
+            (work, row["serial_s"], row["sharded_s"], row["speedup"],
+             row["max_abs_drift"])
+        )
+    report.table(
+        ("workload", "serial_s", "sharded_s", "speedup", "drift"), rows
+    )
+    report.line(
+        f"{results['cores']} cores, {results['workers']} workers; "
+        f"{results['target_speedup']}x target "
+        + ("asserted" if results["target_applies"] else "not asserted")
+    )
+    assert not run_benchmarks.check_sharded(results)

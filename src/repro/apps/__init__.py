@@ -44,7 +44,12 @@ from .variation import (
     linearized_sigma,
     sample_delays,
 )
-from .wire_sizing import SizingResult, WireSizingProblem, optimize_width
+from .wire_sizing import (
+    SizingResult,
+    WireSizingProblem,
+    optimize_width,
+    sweep_widths,
+)
 
 __all__ = [
     "Buffer",
@@ -56,6 +61,7 @@ __all__ = [
     "WireSizingProblem",
     "SizingResult",
     "optimize_width",
+    "sweep_widths",
     "h_tree",
     "perturbed_clock_tree",
     "skew_report",

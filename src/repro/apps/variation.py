@@ -28,7 +28,8 @@ from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..engine import analyze_batch, compile_tree
-from ..errors import ElementValueError, ReproError
+from ..engine.sharded import analyze_batch_sharded
+from ..errors import ConfigurationError, ElementValueError, ReproError
 from ..robustness.guarded import shielded
 from ..simulation.exact import ExactSimulator
 from ..simulation.measures import delay_50 as measure_delay_50
@@ -103,6 +104,14 @@ class DelaySamples:
 
     @property
     def sigma(self) -> float:
+        """Sample standard deviation (``ddof=1``); NaN below 2 samples.
+
+        ``np.std(ddof=1)`` on a size-1 array divides by zero and emits a
+        ``RuntimeWarning`` — a hard crash under promoted warnings — so
+        the undefined case returns an explicit NaN instead.
+        """
+        if self.values.size < 2:
+            return float("nan")
         return float(np.std(self.values, ddof=1))
 
     def quantile(self, q: float) -> float:
@@ -125,9 +134,14 @@ class VariationStudy:
 
     def rank_correlation(self, model: str = "rlc") -> float:
         """Spearman rho of per-sample model delays vs exact (requires
-        exact samples)."""
+        at least 2 exact samples)."""
         if self.exact is None:
             raise ReproError("study ran without exact samples")
+        if self.exact.values.size < 2:
+            raise ConfigurationError(
+                "rank correlation needs at least 2 exact samples, got "
+                f"{self.exact.values.size}"
+            )
         candidate = self.rlc if model == "rlc" else self.rc
         n = self.exact.values.size
         rho = stats.spearmanr(
@@ -161,6 +175,7 @@ def sample_delays(
     samples: int = 500,
     exact_samples: int = 0,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> VariationStudy:
     """Monte-Carlo delay distribution at ``node``.
 
@@ -170,12 +185,26 @@ def sample_delays(
     and every sample's ``delay_50``/Elmore delay comes out of a single
     vectorized pass instead of S tree rebuilds and analyzer runs.
 
+    ``workers`` (opt-in) shards that batch across worker processes via
+    :func:`repro.engine.sharded.analyze_batch_sharded`; the RNG draws
+    stay in this process, so the factor block — and therefore every
+    delay sample — is bitwise identical to the in-process path for any
+    worker count.
+
     ``exact_samples`` of the draws (the first ones, so they share the
     model draws) are additionally simulated exactly — expensive, so keep
-    it to tens.
+    it to tens. ``exact_samples=1`` is rejected: a single exact sample
+    has no sample sigma (``ddof=1``) and no rank correlation.
     """
     if samples < 2:
         raise ReproError("need at least 2 samples")
+    if exact_samples < 0:
+        raise ConfigurationError("exact_samples must be non-negative")
+    if exact_samples == 1:
+        raise ConfigurationError(
+            "exact_samples must be 0 or at least 2: one exact sample has "
+            "no sample sigma (ddof=1) and no rank correlation"
+        )
     if exact_samples > samples:
         raise ReproError("exact_samples cannot exceed samples")
     if node not in tree:
@@ -191,10 +220,19 @@ def sample_delays(
     nominal = np.stack(
         [compiled.resistance, compiled.inductance, compiled.capacitance]
     )
-    batch = analyze_batch(
-        compiled, factors * nominal, metrics=("delay_50", "t_rc")
-    )
-    rlc = np.array(batch.column("delay_50", node))
+    if workers is not None and workers > 1:
+        batch = analyze_batch_sharded(
+            compiled,
+            factors * nominal,
+            metrics=("delay_50", "t_rc"),
+            shards=min(workers, samples),
+            workers=workers,
+        )
+    else:
+        batch = analyze_batch(
+            compiled, factors * nominal, metrics=("delay_50", "t_rc")
+        )
+    rlc = batch.column("delay_50", node)
     rc = math.log(2.0) * batch.column("t_rc", node)
     if not (np.all(np.isfinite(rlc)) and np.all(np.isfinite(rc))):
         # Log-normal factors keep values positive, so this means the

@@ -24,19 +24,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Optional, Sequence
 
+import numpy as np
 from scipy.optimize import minimize_scalar
 
 from ..analysis.analyzer import TreeAnalyzer
 from ..circuit.builders import distributed_line
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
-from ..engine import timing_table
-from ..errors import ReproError
+from ..engine import compile_tree, timing_table
+from ..engine.sharded import analyze_batch_sharded
+from ..errors import ElementValueError, ReproError
 from ..robustness.guarded import shielded
 
-__all__ = ["WireSizingProblem", "SizingResult", "optimize_width"]
+__all__ = [
+    "WireSizingProblem",
+    "SizingResult",
+    "optimize_width",
+    "sweep_widths",
+]
 
 DelayModel = Literal["rc", "rlc"]
 
@@ -135,6 +142,63 @@ class SizingResult:
     delay: float
     model: DelayModel
     evaluations: int
+
+
+@shielded
+def sweep_widths(
+    problem: WireSizingProblem,
+    widths: Sequence[float],
+    model: DelayModel = "rlc",
+    workers: Optional[int] = None,
+) -> np.ndarray:
+    """Receiver delay at every width of a grid, shape ``(len(widths),)``.
+
+    The presweep companion to :func:`optimize_width`: design-space
+    exploration evaluates the delay on a whole width grid (sensitivity
+    maps, pareto plots, seeding the scalar search), and every width
+    shares one topology — exactly the scenario-batch shape.
+
+    ``workers=None`` (or ``<= 1``) evaluates serially through
+    :meth:`WireSizingProblem.delay`, one ``timing_table`` per width.
+    ``workers > 1`` builds one ``(S, 3, n)`` value block from the same
+    per-width trees and shards it across the dispatch pool via
+    :func:`repro.engine.sharded.analyze_batch_sharded`; the block rows
+    are the identical value vectors the serial path extracts, and the
+    sharded kernels replicate the serial arithmetic operation for
+    operation, so the returned delays are **bitwise identical** to the
+    serial sweep for any worker count.
+    """
+    if model not in ("rc", "rlc"):
+        raise ReproError(f"unknown delay model {model!r}; use 'rc' or 'rlc'")
+    widths = [float(w) for w in widths]
+    if not widths:
+        return np.empty(0)
+    for width in widths:
+        problem._check_width(width)
+    if workers is None or workers <= 1:
+        return np.array([problem.delay(w, model) for w in widths])
+
+    compiled = [compile_tree(problem.tree(w, model)) for w in widths]
+    block = np.stack(
+        [
+            np.stack([ct.resistance, ct.inductance, ct.capacitance])
+            for ct in compiled
+        ]
+    )
+    batch = analyze_batch_sharded(
+        compiled[0],
+        block,
+        metrics=("delay_50",),
+        shards=min(workers, len(widths)),
+        workers=workers,
+    )
+    delays = batch.column("delay_50", problem.sink())
+    if not np.all(np.isfinite(delays)):
+        raise ElementValueError(
+            "width sweep produced non-finite delays; the sized wire left "
+            "the closed forms' domain"
+        )
+    return delays
 
 
 @shielded

@@ -20,7 +20,15 @@ kernels:
   vectorized equivalent of ``TreeAnalyzer.report()``) and
   :func:`analyze_batch`, which evaluates S value-scenarios x N nodes in
   one stacked ``(S, N)`` array pass — the shape of Monte-Carlo variation,
-  wire-sizing and clock-tuning workloads.
+  wire-sizing and clock-tuning workloads;
+* :mod:`~repro.engine.sharded` / :mod:`~repro.engine.dispatch` — the
+  multi-process scale step: :func:`analyze_many` dispatches
+  heterogeneous tree sets and :func:`analyze_batch_sharded` splits huge
+  scenario batches into shards evaluated across a worker pool
+  (``compile once, ship CompiledTree + value blocks`` over
+  ``multiprocessing`` with shared-memory value matrices), with
+  per-shard structured error capture and bitwise-identical results
+  versus the in-process engine.
 
 The engine is an accelerator, not a second implementation of the
 physics: its kernels mirror the scalar formulas of
@@ -35,10 +43,17 @@ from .compiled import (
     CompiledTree,
     clear_topology_cache,
     compile_tree,
+    seed_topology_cache,
     topology_cache_info,
     topology_fingerprint,
+    topology_key,
 )
-from .kernels import MetricArrays, fast_path_eligible, metrics_from_sums
+from .kernels import (
+    MetricArrays,
+    fast_path_eligible,
+    metrics_from_sums,
+    validate_settle_band,
+)
 from .table import (
     BatchTiming,
     TimingTable,
@@ -46,20 +61,35 @@ from .table import (
     evaluate,
     timing_table,
 )
+from .sharded import (
+    ShardError,
+    ShardOutcome,
+    analyze_batch_sharded,
+    analyze_many,
+    shutdown_pool,
+)
 
 __all__ = [
     "CompiledTopology",
     "CompiledTree",
     "compile_tree",
     "topology_fingerprint",
+    "topology_key",
     "clear_topology_cache",
+    "seed_topology_cache",
     "topology_cache_info",
     "MetricArrays",
     "metrics_from_sums",
     "fast_path_eligible",
+    "validate_settle_band",
     "TimingTable",
     "BatchTiming",
     "evaluate",
     "analyze_batch",
     "timing_table",
+    "ShardError",
+    "ShardOutcome",
+    "analyze_many",
+    "analyze_batch_sharded",
+    "shutdown_pool",
 ]

@@ -36,6 +36,7 @@ values; only the permutation/level arrays are shared.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -49,8 +50,11 @@ __all__ = [
     "CompiledTopology",
     "CompiledTree",
     "topology_fingerprint",
+    "topology_key",
     "compile_tree",
     "clear_topology_cache",
+    "seed_topology_cache",
+    "lookup_topology",
     "topology_cache_info",
 ]
 
@@ -66,6 +70,23 @@ def topology_fingerprint(tree: RLCTree) -> Tuple:
     """
     names = tree.nodes
     return (tree.root, names, tuple(tree.parent(name) for name in names))
+
+
+def topology_key(topology: "CompiledTopology") -> Tuple:
+    """The :func:`topology_fingerprint` a compiled topology came from.
+
+    Reconstructed purely from the structure arrays, so a
+    :class:`CompiledTopology` shipped to a worker process (where the
+    original :class:`~repro.circuit.tree.RLCTree` never existed) can be
+    seeded into that process's topology cache under the same key the
+    parent used.
+    """
+    n = topology.size
+    parents = tuple(
+        topology.root if p == n else topology.names[p]
+        for p in topology.parent
+    )
+    return (topology.root, topology.names, parents)
 
 
 @dataclass(frozen=True)
@@ -158,12 +179,14 @@ class CompiledTopology:
         """
         acc = np.array(weights, dtype=float, copy=True)
         for group in self.levels[:0:-1]:  # deepest level down to level 2
-            gathered = np.cumsum(acc[..., group.nodes], axis=-1)
-            padded = np.concatenate(
-                [np.zeros(gathered.shape[:-1] + (1,)), gathered], axis=-1
-            )
-            acc[..., group.parents] += (
-                padded[..., group.ends] - padded[..., group.starts]
+            # Sibling segments tile the level (starts[0] == 0, ends
+            # chain to nodes.size), so reduceat sums each parent's
+            # children with additions only. A cumsum-and-subtract
+            # segmented sum would carry absolute error at the scale of
+            # the *level* total — catastrophic for a tiny subtree next
+            # to large siblings.
+            acc[..., group.parents] += np.add.reduceat(
+                acc[..., group.nodes], group.starts, axis=-1
             )
         return acc
 
@@ -325,9 +348,20 @@ class CompiledTree:
 
 
 # -- the topology cache ----------------------------------------------------
+#
+# A process-global LRU keyed on topology fingerprints. Every mutation —
+# lookup + move_to_end, insert + evict, counter bumps — happens under
+# ``_cache_lock``: compile_tree is called from threaded design loops and
+# from the sharded dispatch workers' task threads, and an unsynchronized
+# OrderedDict corrupts under concurrent move_to_end/popitem (and loses
+# counter updates). The structural compile itself runs outside the lock,
+# so concurrent misses may compile the same topology twice; the first
+# insert wins and the duplicate is discarded — wasted work, never a
+# wrong result.
 
 _CACHE_MAXSIZE = 128
 _cache: "OrderedDict[Tuple, CompiledTopology]" = OrderedDict()
+_cache_lock = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
 
@@ -338,38 +372,95 @@ def compile_tree(tree: RLCTree, *, cache: bool = True) -> CompiledTree:
     With ``cache=True`` (the default) the structural compile is keyed on
     :func:`topology_fingerprint`, so repeated calls for value-perturbed
     copies of one net pay only the O(n) value extraction. Element values
-    are always read fresh from ``tree``.
+    are always read fresh from ``tree``. Cache operations are
+    thread-safe.
     """
     global _cache_hits, _cache_misses
     if not cache:
         return CompiledTree.from_tree(tree)
     key = topology_fingerprint(tree)
-    topology = _cache.get(key)
+    with _cache_lock:
+        topology = _cache.get(key)
+        if topology is not None:
+            _cache_hits += 1
+            _cache.move_to_end(key)
     if topology is None:
-        _cache_misses += 1
-        topology = CompiledTopology.from_tree(tree)
-        _cache[key] = topology
-        if len(_cache) > _CACHE_MAXSIZE:
-            _cache.popitem(last=False)
-    else:
-        _cache_hits += 1
-        _cache.move_to_end(key)
+        compiled = CompiledTopology.from_tree(tree)
+        with _cache_lock:
+            _cache_misses += 1
+            topology = _cache.get(key)
+            if topology is None:
+                topology = compiled
+                _cache[key] = topology
+            else:
+                _cache.move_to_end(key)
+            while len(_cache) > _CACHE_MAXSIZE:
+                _cache.popitem(last=False)
     return CompiledTree.from_tree(tree, topology)
+
+
+def lookup_topology(key: Tuple) -> Optional[CompiledTopology]:
+    """The cached topology under ``key``, counting a hit or a miss.
+
+    The dispatch layer's per-process lookup: a worker that receives a
+    work unit consults its own cache by key before unpickling the
+    shipped payload, so the hit/miss counters aggregated by
+    :func:`repro.engine.sharded.topology_cache_info` reflect how often
+    the payload actually had to be decoded.
+    """
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        topology = _cache.get(key)
+        if topology is not None:
+            _cache_hits += 1
+            _cache.move_to_end(key)
+        else:
+            _cache_misses += 1
+    return topology
+
+
+def seed_topology_cache(
+    topology: CompiledTopology, key: Optional[Tuple] = None
+) -> Tuple:
+    """Insert an already-compiled ``topology`` into the cache.
+
+    Used by the sharded dispatch workers to seed their per-process
+    caches from pickled :class:`CompiledTopology` payloads shipped with
+    the work units. Counts neither a hit nor a miss; returns the key the
+    topology was stored under.
+    """
+    if key is None:
+        key = topology_key(topology)
+    with _cache_lock:
+        if key in _cache:
+            _cache.move_to_end(key)
+        else:
+            _cache[key] = topology
+            while len(_cache) > _CACHE_MAXSIZE:
+                _cache.popitem(last=False)
+    return key
 
 
 def clear_topology_cache() -> None:
     """Empty the topology cache and reset its counters."""
     global _cache_hits, _cache_misses
-    _cache.clear()
-    _cache_hits = 0
-    _cache_misses = 0
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
 
 
 def topology_cache_info() -> Dict[str, int]:
-    """``{"hits", "misses", "size", "maxsize"}`` of the topology cache."""
-    return {
-        "hits": _cache_hits,
-        "misses": _cache_misses,
-        "size": len(_cache),
-        "maxsize": _CACHE_MAXSIZE,
-    }
+    """``{"hits", "misses", "size", "maxsize"}`` of the topology cache.
+
+    Counts this process only; the sharded dispatch layer exposes
+    :func:`repro.engine.sharded.topology_cache_info`, which aggregates
+    this over every worker in the pool.
+    """
+    with _cache_lock:
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "size": len(_cache),
+            "maxsize": _CACHE_MAXSIZE,
+        }

@@ -1,0 +1,370 @@
+"""Work units, shared-memory blocks and the worker pool for sharding.
+
+This is the transport half of the sharded dispatch protocol
+(:mod:`repro.engine.sharded` is the policy half). The protocol is
+*compile once, ship the structure, stream the values*:
+
+* the parent compiles every distinct topology once and pickles the
+  :class:`~repro.engine.compiled.CompiledTopology` into a payload that
+  travels with the work units;
+* each worker process keeps the ordinary per-process topology cache
+  (:mod:`repro.engine.compiled`, lock-guarded) seeded from those
+  payloads — the first unit for a topology unpickles it, every later
+  unit is a cache hit, and :func:`worker_cache_infos` reads the
+  hit/miss counters back out of every worker for aggregation;
+* scenario value matrices for sharded batches travel through one
+  ``multiprocessing.shared_memory`` segment (:class:`SharedBlock`)
+  rather than being pickled per shard — each worker attaches the
+  segment and reads only its ``[start:stop]`` scenario rows. When
+  shared memory is unavailable the units simply carry their slice
+  inline; the protocol degrades, the results do not change.
+
+Worker task functions never raise: every unit evaluates to
+``(index, "ok", metric payload)`` or ``(index, "err", failure
+description)``, so one poisoned unit can never take down the map call
+that carries its siblings. The pool itself is a lazily-created,
+process-global ``multiprocessing`` pool (fork where available, spawn
+otherwise), reused across dispatches so worker caches stay warm, and
+torn down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError
+from .compiled import (
+    CompiledTopology,
+    CompiledTree,
+    clear_topology_cache,
+    lookup_topology,
+    seed_topology_cache,
+    topology_cache_info,
+)
+from .kernels import (
+    METRIC_NAMES,
+    MetricArrays,
+    fast_path_eligible,
+    metrics_from_sums,
+)
+
+try:  # pragma: no cover - always present on supported platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "BlockRef",
+    "SharedBlock",
+    "TreeUnit",
+    "BatchShard",
+    "run_tree_unit",
+    "run_batch_shard",
+    "get_pool",
+    "shutdown_pool",
+    "pool_size",
+    "worker_cache_infos",
+    "shared_memory_available",
+]
+
+
+# -- shared-memory value blocks --------------------------------------------
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` can be used."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Descriptor of a float64 array living in a shared-memory segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+
+
+class SharedBlock:
+    """Parent-side owner of one shared-memory float64 array.
+
+    Copies ``array`` into a fresh segment on construction; :attr:`ref`
+    is the picklable descriptor shipped to workers. The parent must call
+    :meth:`close` (which also unlinks) once every consumer is done.
+    """
+
+    def __init__(self, array: np.ndarray):
+        if _shared_memory is None:  # pragma: no cover - gated by caller
+            raise ReproError("shared memory is unavailable on this platform")
+        array = np.ascontiguousarray(array, dtype=float)
+        self._shm = _shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        np.ndarray(array.shape, dtype=float, buffer=self._shm.buf)[...] = array
+        self.ref = BlockRef(name=self._shm.name, shape=array.shape)
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+
+def _attach_block(ref: BlockRef):
+    """Attach to a shared block in a worker; returns ``(segment, view)``.
+
+    On this Python, ``SharedMemory(name=...)`` registers the segment
+    with the resource tracker even when merely *attaching* (there is no
+    ``track=False`` before 3.13). The parent already owns the one true
+    registration, and a second one in a worker either leaks (worker
+    spawned its own tracker → "leaked shared_memory objects" warnings at
+    exit) or can race the parent's unlink. Suppressing registration for
+    the duration of the attach keeps ownership where it belongs: the
+    parent registers on create and unregisters on unlink, exactly once.
+    Pool workers run one task at a time, so the brief module-level patch
+    cannot race another attach in the same process.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        segment = _shared_memory.SharedMemory(name=ref.name)
+    finally:
+        resource_tracker.register = original_register
+    view = np.ndarray(ref.shape, dtype=float, buffer=segment.buf)
+    return segment, view
+
+
+# -- work units -------------------------------------------------------------
+
+
+def encode_topology(topology: CompiledTopology) -> bytes:
+    """The pickled payload of one topology, shipped with work units."""
+    return pickle.dumps(topology, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _resolve_topology(key: Tuple, payload: bytes) -> CompiledTopology:
+    """Per-process cache lookup, falling back to the shipped payload."""
+    topology = lookup_topology(key)
+    if topology is None:
+        topology = pickle.loads(payload)
+        seed_topology_cache(topology, key=key)
+    return topology
+
+
+@dataclass(frozen=True)
+class TreeUnit:
+    """One tree of an :func:`~repro.engine.sharded.analyze_many` call."""
+
+    index: int
+    key: Tuple
+    payload: bytes = field(repr=False)
+    resistance: np.ndarray
+    inductance: np.ndarray
+    capacitance: np.ndarray
+    settle_band: float
+    select: Optional[Tuple[str, ...]]
+    check_domain: bool = True
+
+
+@dataclass(frozen=True)
+class BatchShard:
+    """One contiguous scenario range of a sharded batch.
+
+    ``block`` is either a :class:`BlockRef` into the full ``(S, 3, n)``
+    shared block (the worker reads rows ``start:stop``) or the shard's
+    own ``(stop - start, 3, n)`` slice shipped inline when shared memory
+    is unavailable or the dispatch runs serially. ``inject`` names a
+    fault to raise instead of evaluating — the hook the robustness
+    fault-injection suite uses to exercise per-shard error capture.
+    """
+
+    index: int
+    key: Tuple
+    payload: bytes = field(repr=False)
+    block: Union[BlockRef, np.ndarray]
+    start: int
+    stop: int
+    settle_band: float
+    select: Optional[Tuple[str, ...]]
+    inject: Optional[str] = None
+
+
+def _metric_payload(metrics: MetricArrays) -> Dict[str, Optional[np.ndarray]]:
+    """A plain picklable dict of the metric arrays (or ``None`` gaps)."""
+    return {name: getattr(metrics, name) for name in METRIC_NAMES}
+
+
+def _describe_failure(exc: BaseException) -> Dict[str, str]:
+    return {
+        "error_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
+def run_tree_unit(unit: TreeUnit) -> Tuple[int, str, Dict[str, Any]]:
+    """Evaluate one tree unit; never raises."""
+    try:
+        topology = _resolve_topology(unit.key, unit.payload)
+        compiled = CompiledTree(
+            topology, unit.resistance, unit.inductance, unit.capacitance
+        )
+        t_rc, t_lc = compiled.second_order_sums()
+        if unit.check_domain and not fast_path_eligible(t_rc, t_lc):
+            from ..errors import ElementValueError
+
+            raise ElementValueError(
+                f"tree {unit.index}: node sums fall outside the closed "
+                "forms' domain (non-finite or non-positive); check the "
+                "element values"
+            )
+        metrics = metrics_from_sums(
+            t_rc, t_lc, unit.settle_band, select=unit.select
+        )
+        return unit.index, "ok", _metric_payload(metrics)
+    except Exception as exc:
+        return unit.index, "err", _describe_failure(exc)
+
+
+def run_batch_shard(shard: BatchShard) -> Tuple[int, str, Dict[str, Any]]:
+    """Evaluate one scenario shard; never raises."""
+    segment = None
+    try:
+        if shard.inject is not None:
+            raise ReproError(f"injected shard fault: {shard.inject}")
+        topology = _resolve_topology(shard.key, shard.payload)
+        if isinstance(shard.block, BlockRef):
+            segment, block = _attach_block(shard.block)
+            rows = block[shard.start:shard.stop]
+        else:
+            rows = shard.block
+        r, l, c = rows[:, 0, :], rows[:, 1, :], rows[:, 2, :]
+        loads = topology.accumulate(c)
+        t_rc = topology.descend(r * loads)
+        t_lc = topology.descend(l * loads)
+        metrics = metrics_from_sums(
+            t_rc, t_lc, shard.settle_band, select=shard.select
+        )
+        return shard.index, "ok", _metric_payload(metrics)
+    except Exception as exc:
+        return shard.index, "err", _describe_failure(exc)
+    finally:
+        if segment is not None:
+            segment.close()
+
+
+# -- the worker pool ---------------------------------------------------------
+
+_pool = None
+_pool_workers = 0
+_pool_barrier = None
+_WORKER_BARRIER = None  # set inside each worker by the initializer
+
+
+def _init_worker(barrier) -> None:
+    """Worker initializer: a clean per-process cache plus the barrier.
+
+    Resetting the cache matters under fork: the child would otherwise
+    inherit the parent's cache *counters*, and the pool-wide aggregation
+    would double-count the parent's pre-fork history.
+    """
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+    clear_topology_cache()
+
+
+def _pool_context():
+    for method in ("fork", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:  # pragma: no cover - platform without method
+            continue
+    return multiprocessing.get_context()  # pragma: no cover
+
+
+def get_pool(workers: int):
+    """The shared worker pool, (re)created to hold ``workers`` processes.
+
+    The pool persists across dispatch calls so per-process topology
+    caches stay warm; asking for a different worker count tears the old
+    pool down first.
+    """
+    global _pool, _pool_workers, _pool_barrier
+    if workers < 2:
+        raise ReproError("a dispatch pool needs at least 2 workers")
+    if _pool is not None and _pool_workers == workers:
+        return _pool
+    shutdown_pool()
+    ctx = _pool_context()
+    barrier = ctx.Barrier(workers)
+    _pool = ctx.Pool(
+        processes=workers, initializer=_init_worker, initargs=(barrier,)
+    )
+    _pool_workers = workers
+    _pool_barrier = barrier
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (no-op when none is running)."""
+    global _pool, _pool_workers, _pool_barrier
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+    _pool = None
+    _pool_workers = 0
+    _pool_barrier = None
+
+
+atexit.register(shutdown_pool)
+
+
+def pool_size() -> int:
+    """Worker count of the live pool (0 when none is running)."""
+    return _pool_workers
+
+
+def _worker_cache_info(_index: int) -> Tuple[int, Dict[str, int]]:
+    """One worker's cache counters, synchronized on the pool barrier.
+
+    The barrier holds each worker at this task until every worker has
+    picked one up, which is what guarantees the ``map`` below lands on
+    ``workers`` *distinct* processes rather than one fast worker
+    draining the queue. A worker stuck elsewhere breaks the barrier via
+    timeout and the survivors report anyway.
+    """
+    if _WORKER_BARRIER is not None:
+        try:
+            _WORKER_BARRIER.wait(5.0)
+        except threading.BrokenBarrierError:
+            pass
+    return os.getpid(), topology_cache_info()
+
+
+def worker_cache_infos() -> Dict[int, Dict[str, int]]:
+    """Topology-cache counters of every pool worker, keyed by pid.
+
+    Empty when no pool is running.
+    """
+    if _pool is None:
+        return {}
+    try:
+        results = _pool.map(
+            _worker_cache_info, range(_pool_workers), chunksize=1
+        )
+    finally:
+        if _pool_barrier is not None and _pool_barrier.broken:
+            _pool_barrier.reset()
+    return {pid: info for pid, info in results}

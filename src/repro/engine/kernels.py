@@ -32,9 +32,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..analysis.fitting import scaled_delay, scaled_rise
-from ..errors import ReductionError
+from ..errors import ConfigurationError, ReductionError
 
-__all__ = ["MetricArrays", "metrics_from_sums", "fast_path_eligible"]
+__all__ = [
+    "MetricArrays",
+    "metrics_from_sums",
+    "fast_path_eligible",
+    "validate_settle_band",
+]
 
 _LN2 = math.log(2.0)
 _LN9 = math.log(9.0)
@@ -55,6 +60,21 @@ METRIC_NAMES = (
 #: overshoot — the same default as
 #: :func:`repro.analysis.oscillation.overshoot_train`.
 OVERSHOOT_THRESHOLD = 1e-4
+
+
+def validate_settle_band(settle_band: float) -> None:
+    """Raise :class:`~repro.errors.ConfigurationError` unless
+    ``0 < settle_band < 1``.
+
+    The settling formulas take ``log(settle_band)``, so a non-positive
+    band has no logarithm (a raw ``math domain error`` before this
+    check) and a band of 1 or more describes a tolerance the response is
+    *always* inside, silently producing zero or negative settling times.
+    The scalar :class:`~repro.analysis.analyzer.TreeAnalyzer` raises the
+    same typed error for the same domain.
+    """
+    if not 0.0 < settle_band < 1.0:
+        raise ConfigurationError("settle_band must be in (0, 1)")
 
 
 @dataclass(frozen=True)
@@ -103,7 +123,14 @@ def metrics_from_sums(
     always carried); a 1000x1000 batch that only reads ``delay_50``
     skips more than half the kernel work. Unselected fields come out
     ``None``.
+
+    ``settle_band`` must lie in ``(0, 1)`` (see
+    :func:`validate_settle_band`); values outside that domain raise
+    :class:`~repro.errors.ConfigurationError`, matching the scalar
+    analyzer, instead of a raw ``math domain error`` (``<= 0``) or
+    silently nonsensical settling times (``>= 1``).
     """
+    validate_settle_band(settle_band)
     t_rc = np.asarray(t_rc, dtype=float)
     t_lc = np.asarray(t_lc, dtype=float)
     t_rc, t_lc = np.broadcast_arrays(t_rc, t_lc)

@@ -1,0 +1,416 @@
+"""Sharded multi-tree and scenario-shard dispatch across processes.
+
+:func:`repro.engine.analyze_batch` vectorizes S scenarios of *one*
+topology inside one process; this module is the next scale step the
+workloads in the paper's Section 5 actually have — thousands of
+independent closed-form net evaluations per optimization sweep:
+
+* :func:`analyze_many` — a heterogeneous set of trees (distinct nets, or
+  value-perturbed copies of a few nets), one
+  :class:`~repro.engine.table.TimingTable` each;
+* :func:`analyze_batch_sharded` — one huge ``(S, 3, n)`` scenario batch
+  split into ``shards`` contiguous scenario ranges evaluated in
+  parallel and reassembled in order.
+
+Both follow the *compile once, ship CompiledTree + value blocks*
+protocol of :mod:`repro.engine.dispatch`: structure travels as pickled
+:class:`~repro.engine.compiled.CompiledTopology` payloads that seed each
+worker's per-process topology cache, values travel as arrays (through a
+``multiprocessing.shared_memory`` block for sharded batches), and every
+shard's metric arrays come back to be stitched together in
+deterministic input order — the evaluation itself is per-scenario
+independent elementwise math, so sharded output is **bitwise identical**
+to the serial engine.
+
+Failure is per shard, not per call: a shard that raises (or a unit
+whose tree is outside the closed forms' domain) comes back as a
+structured :class:`ShardError` — severity/code/message via the
+robustness :class:`~repro.robustness.diagnostics.Diagnostic` machinery —
+while the surviving shards still return their results. With
+``shards=1``/``workers<=1``, or when no pool can be created, everything
+runs serially in-process through the same code path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuit.tree import RLCTree
+from ..errors import ConfigurationError, DispatchError
+from ..robustness.diagnostics import Diagnostic, Severity
+from . import dispatch as _dispatch
+from .compiled import CompiledTree, compile_tree, topology_key
+from .compiled import topology_cache_info as _local_cache_info
+from .kernels import METRIC_NAMES, MetricArrays, validate_settle_band
+from .table import BatchTiming, TimingTable, _batch_values, _metric_field
+
+__all__ = [
+    "ShardError",
+    "ShardOutcome",
+    "analyze_many",
+    "analyze_batch_sharded",
+    "topology_cache_info",
+    "shutdown_pool",
+]
+
+#: Diagnostic code carried by every :class:`ShardError`.
+SHARD_FAILURE_CODE = "shard-failure"
+
+
+@dataclass(frozen=True)
+class ShardError:
+    """Structured record of one failed shard or work unit.
+
+    ``scope`` is ``"tree"`` (an :func:`analyze_many` unit) or
+    ``"scenarios"`` (an :func:`analyze_batch_sharded` shard);
+    ``detail`` names the unit (``"tree 3"``, ``"scenarios 100:200"``).
+    ``error_type``/``message``/``traceback`` describe the exception the
+    worker captured; :attr:`diagnostic` renders the whole record through
+    the robustness :class:`~repro.robustness.diagnostics.Diagnostic`
+    machinery.
+    """
+
+    shard: int
+    scope: str
+    detail: str
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    @property
+    def diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            severity=Severity.ERROR,
+            code=SHARD_FAILURE_CODE,
+            message=(
+                f"{self.scope} shard {self.shard} ({self.detail}) failed: "
+                f"{self.error_type}: {self.message}"
+            ),
+        )
+
+    def __str__(self) -> str:
+        return str(self.diagnostic)
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """A surviving shard of a partially-failed sharded batch."""
+
+    shard: int
+    start: int
+    stop: int
+    timing: BatchTiming
+
+
+def _resolve_workers(workers: Optional[int], units: int) -> int:
+    """Effective worker count for ``units`` work units."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ConfigurationError(
+            f"workers must be non-negative, got {workers}"
+        )
+    return max(1, min(workers, units))
+
+
+def _run_units(units: List, worker_fn, workers: int) -> List[Tuple]:
+    """Run units through the pool, or serially when it cannot exist.
+
+    Results come back in deterministic unit order regardless of worker
+    scheduling (``Pool.map`` preserves order; the serial path is a plain
+    loop). Worker functions capture their own exceptions, so a failure
+    here means the *pool*, not a unit, broke — fall back to serial.
+    """
+    if workers > 1:
+        try:
+            pool = _dispatch.get_pool(workers)
+            return pool.map(worker_fn, units, chunksize=1)
+        except (OSError, ImportError, PermissionError):
+            pass  # no pool on this platform: degrade to in-process
+    return [worker_fn(unit) for unit in units]
+
+
+# -- heterogeneous tree sets -------------------------------------------------
+
+
+def analyze_many(
+    trees: Sequence[Union[RLCTree, CompiledTree]],
+    *,
+    settle_band: float = 0.1,
+    metrics: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    check_domain: bool = True,
+    cache: bool = True,
+) -> List[Union[TimingTable, ShardError]]:
+    """Evaluate many (possibly heterogeneous) trees across workers.
+
+    Returns one entry per input tree, **in input order**: a
+    :class:`~repro.engine.table.TimingTable` on success or a
+    :class:`ShardError` for a tree whose evaluation failed — surviving
+    trees always return, whatever happened to their neighbours. Inputs
+    may be :class:`~repro.circuit.tree.RLCTree` or already-compiled
+    :class:`~repro.engine.compiled.CompiledTree` objects.
+
+    Each distinct topology is compiled (and pickled) exactly once in
+    this process; workers seed their per-process caches from the shipped
+    payloads. ``workers=None`` uses ``os.cpu_count()``; ``workers<=1``
+    evaluates serially in-process through the same unit code path, so
+    results are bitwise identical for any worker count.
+
+    With ``check_domain`` (the default) a tree whose sums fall outside
+    the closed forms' domain reports a typed per-tree error instead of a
+    NaN-filled table, mirroring the scalar path's
+    :class:`~repro.errors.ElementValueError`.
+    """
+    validate_settle_band(settle_band)
+    select = None
+    if metrics is not None:
+        select = tuple(_metric_field(metric) for metric in metrics)
+    compiled: List[CompiledTree] = [
+        tree if isinstance(tree, CompiledTree) else compile_tree(tree, cache=cache)
+        for tree in trees
+    ]
+    payloads: Dict[Tuple, bytes] = {}
+    units = []
+    for index, ct in enumerate(compiled):
+        key = topology_key(ct.topology)
+        payload = payloads.get(key)
+        if payload is None:
+            payload = _dispatch.encode_topology(ct.topology)
+            payloads[key] = payload
+        units.append(
+            _dispatch.TreeUnit(
+                index=index,
+                key=key,
+                payload=payload,
+                resistance=ct.resistance,
+                inductance=ct.inductance,
+                capacitance=ct.capacitance,
+                settle_band=settle_band,
+                select=select,
+                check_domain=check_domain,
+            )
+        )
+    workers = _resolve_workers(workers, len(units))
+    raw = _run_units(units, _dispatch.run_tree_unit, workers)
+    by_index = {index: (status, body) for index, status, body in raw}
+    out: List[Union[TimingTable, ShardError]] = []
+    for index, ct in enumerate(compiled):
+        status, body = by_index[index]
+        if status == "ok":
+            out.append(
+                TimingTable(
+                    names=ct.names,
+                    settle_band=settle_band,
+                    metrics=MetricArrays(**body),
+                )
+            )
+        else:
+            out.append(
+                ShardError(
+                    shard=index,
+                    scope="tree",
+                    detail=f"tree {index}",
+                    **body,
+                )
+            )
+    return out
+
+
+# -- scenario-sharded batches ------------------------------------------------
+
+
+def _shard_slices(scenarios: int, shards: int) -> List[Tuple[int, int]]:
+    """``shards`` contiguous, near-equal ``[start, stop)`` scenario ranges."""
+    base, extra = divmod(scenarios, shards)
+    slices = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def analyze_batch_sharded(
+    compiled: CompiledTree,
+    rlc: Optional[np.ndarray] = None,
+    *,
+    resistance: Optional[np.ndarray] = None,
+    inductance: Optional[np.ndarray] = None,
+    capacitance: Optional[np.ndarray] = None,
+    settle_band: float = 0.1,
+    metrics: Optional[Sequence[str]] = None,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    fault_shards: Sequence[int] = (),
+) -> BatchTiming:
+    """:func:`~repro.engine.table.analyze_batch`, sharded across workers.
+
+    The S scenarios are split into ``shards`` contiguous ranges; each
+    worker computes its range's sums and metrics and the shard outputs
+    are concatenated back in shard order. Scenario rows are evaluated by
+    independent elementwise/per-row array math, so the assembled
+    :class:`~repro.engine.table.BatchTiming` is **bitwise identical** to
+    the in-process ``analyze_batch`` for any shard/worker count.
+
+    The value block travels through one shared-memory segment when
+    available (workers read only their scenario rows); otherwise each
+    unit carries its slice inline. ``shards=1`` (or an effective worker
+    count of 1, or an unavailable pool) falls back to the serial
+    in-process engine.
+
+    If any shard fails, a :class:`~repro.errors.DispatchError` is raised
+    carrying the structured :class:`ShardError` records *and* the
+    surviving shards' :class:`ShardOutcome` results — partial work is
+    reported, never silently discarded. ``fault_shards`` injects a
+    deliberate failure into the named shard indices (the robustness
+    fault-injection hook).
+    """
+    validate_settle_band(settle_band)
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    r, l, c = _batch_values(compiled, rlc, resistance, inductance, capacitance)
+    scenarios = r.shape[0]
+    shards = max(1, min(shards, scenarios))
+    workers = _resolve_workers(workers, shards)
+    fault_shards = frozenset(fault_shards)
+
+    if shards == 1 and workers <= 1 and not fault_shards:
+        # Serial fast path: no pickling, no block copy.
+        from .table import analyze_batch
+
+        return analyze_batch(
+            compiled,
+            np.stack([r, l, c], axis=1),
+            settle_band=settle_band,
+            metrics=metrics,
+        )
+
+    select = None
+    if metrics is not None:
+        select = tuple(_metric_field(metric) for metric in metrics)
+    key = topology_key(compiled.topology)
+    payload = _dispatch.encode_topology(compiled.topology)
+    block = np.stack([r, l, c], axis=1)  # (S, 3, n), contiguous
+    slices = _shard_slices(scenarios, shards)
+
+    shared = None
+    use_shm = workers > 1 and _dispatch.shared_memory_available()
+    if use_shm:
+        try:
+            shared = _dispatch.SharedBlock(block)
+        except (OSError, ValueError):
+            shared = None  # e.g. /dev/shm unavailable: ship inline
+    try:
+        units = []
+        for index, (start, stop) in enumerate(slices):
+            units.append(
+                _dispatch.BatchShard(
+                    index=index,
+                    key=key,
+                    payload=payload,
+                    block=shared.ref if shared is not None else block[start:stop],
+                    start=start,
+                    stop=stop,
+                    settle_band=settle_band,
+                    select=select,
+                    inject=(
+                        f"fault_shards[{index}]" if index in fault_shards else None
+                    ),
+                )
+            )
+        raw = _run_units(units, _dispatch.run_batch_shard, workers)
+    finally:
+        if shared is not None:
+            shared.close()
+
+    by_index = {index: (status, body) for index, status, body in raw}
+    errors: List[ShardError] = []
+    outcomes: List[ShardOutcome] = []
+    bodies: List[Optional[Dict]] = []
+    for index, (start, stop) in enumerate(slices):
+        status, body = by_index[index]
+        if status == "ok":
+            bodies.append(body)
+            outcomes.append(
+                ShardOutcome(
+                    shard=index,
+                    start=start,
+                    stop=stop,
+                    timing=BatchTiming(
+                        names=compiled.names,
+                        settle_band=settle_band,
+                        metrics=MetricArrays(**body),
+                    ),
+                )
+            )
+        else:
+            bodies.append(None)
+            errors.append(
+                ShardError(
+                    shard=index,
+                    scope="scenarios",
+                    detail=f"scenarios {start}:{stop}",
+                    **body,
+                )
+            )
+    if errors:
+        raise DispatchError(
+            f"{len(errors)} of {shards} shards failed "
+            f"({len(outcomes)} survived): "
+            + "; ".join(str(e.diagnostic) for e in errors[:3]),
+            shard_errors=tuple(errors),
+            partial=tuple(outcomes),
+        )
+
+    stitched = {}
+    for name in METRIC_NAMES:
+        columns = [body[name] for body in bodies]
+        if any(column is None for column in columns):
+            stitched[name] = None
+        else:
+            stitched[name] = np.concatenate(columns, axis=0)
+    return BatchTiming(
+        names=compiled.names,
+        settle_band=settle_band,
+        metrics=MetricArrays(**stitched),
+    )
+
+
+# -- pool-aware cache introspection -----------------------------------------
+
+
+def topology_cache_info() -> Dict:
+    """Topology-cache counters aggregated across the dispatch pool.
+
+    The per-process view (``repro.engine.topology_cache_info``) only
+    sees this process; this one adds every live pool worker's counters:
+    ``{"hits", "misses", "size"}`` are parent + workers combined,
+    ``"parent"`` is this process alone and ``"workers"`` maps worker pid
+    to its own counters (empty when no pool is running).
+    """
+    parent = _local_cache_info()
+    workers = _dispatch.worker_cache_infos()
+    combined = {
+        "hits": parent["hits"],
+        "misses": parent["misses"],
+        "size": parent["size"],
+        "maxsize": parent["maxsize"],
+    }
+    for info in workers.values():
+        combined["hits"] += info["hits"]
+        combined["misses"] += info["misses"]
+        combined["size"] += info["size"]
+    combined["parent"] = parent
+    combined["workers"] = workers
+    return combined
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (safe to call when idle)."""
+    _dispatch.shutdown_pool()

@@ -29,6 +29,7 @@ from .kernels import (
     MetricArrays,
     fast_path_eligible,
     metrics_from_sums,
+    validate_settle_band,
 )
 
 __all__ = ["TimingTable", "BatchTiming", "evaluate", "analyze_batch", "timing_table"]
@@ -162,9 +163,13 @@ class TimingTable:
 def evaluate(compiled: CompiledTree, settle_band: float = 0.1) -> TimingTable:
     """Sums plus every metric for one compiled tree, in one array pass.
 
-    Performs no domain checking: entries the closed forms cannot serve
-    come out NaN (see :func:`~repro.engine.kernels.metrics_from_sums`).
+    Performs no domain checking on the *sums*: entries the closed forms
+    cannot serve come out NaN (see
+    :func:`~repro.engine.kernels.metrics_from_sums`). The ``settle_band``
+    request, however, is validated up front — out-of-domain bands raise
+    :class:`~repro.errors.ConfigurationError` before any sweep runs.
     """
+    validate_settle_band(settle_band)
     t_rc, t_lc = compiled.second_order_sums()
     return TimingTable(
         names=compiled.names,
@@ -181,8 +186,11 @@ def timing_table(
     Eligibility is :func:`~repro.engine.kernels.fast_path_eligible` on
     the tree's sums: when any node falls outside the closed forms'
     domain this returns ``None`` so callers can run the scalar path and
-    surface its typed errors unchanged.
+    surface its typed errors unchanged. An out-of-domain
+    ``settle_band`` raises :class:`~repro.errors.ConfigurationError`
+    here (never ``None``), exactly like the scalar analyzer.
     """
+    validate_settle_band(settle_band)
     compiled = compile_tree(tree, cache=cache)
     t_rc, t_lc = compiled.second_order_sums()
     if not fast_path_eligible(t_rc, t_lc):
@@ -230,14 +238,20 @@ class BatchTiming:
             raise TopologyError(f"unknown node {node!r}") from None
 
     def column(self, metric: str, node: str) -> np.ndarray:
-        """One metric at one node across all scenarios, shape ``(S,)``."""
+        """One metric at one node across all scenarios, shape ``(S,)``.
+
+        Returned as a fresh copy: a strided view into the ``(S, n)``
+        metric block would keep the whole block alive for as long as the
+        caller holds the column — exactly the lifetime bug a Monte-Carlo
+        loop that extracts one sink column per batch would hit.
+        """
         values = getattr(self.metrics, _metric_field(metric))
         if values is None:
             raise ReductionError(
                 f"metric {metric!r} was not evaluated; include it in the "
                 "``metrics`` selection"
             )
-        return values[:, self.index(node)]
+        return values[:, self.index(node)].copy()
 
     def scenario(self, s: int) -> TimingTable:
         """The full :class:`TimingTable` of scenario ``s``."""
@@ -333,7 +347,12 @@ def analyze_batch(
     worthwhile on large batches, where a single-metric sweep skips most
     of the elementwise work. Reading an unselected metric raises
     :class:`~repro.errors.ReductionError`; the sums are always kept.
+
+    ``settle_band`` outside ``(0, 1)`` raises
+    :class:`~repro.errors.ConfigurationError` before any values are
+    touched.
     """
+    validate_settle_band(settle_band)
     r, l, c = _batch_values(compiled, rlc, resistance, inductance, capacitance)
     select = None
     if metrics is not None:

@@ -23,6 +23,7 @@ __all__ = [
     "ValidationError",
     "NumericalHealthError",
     "FallbackExhaustedError",
+    "DispatchError",
 ]
 
 
@@ -104,6 +105,23 @@ class NumericalHealthError(ReproError):
     rescaling, regularization) were exhausted — or a raw numerical
     failure (``LinAlgError``, overflow, division by zero) escaped a
     lower layer and was converted at a guarded boundary."""
+
+
+class DispatchError(ReproError):
+    """One or more shards of a sharded dispatch failed.
+
+    Raised by :mod:`repro.engine.sharded` when a scenario-sharded batch
+    cannot be assembled because a shard errored (or its worker died).
+    :attr:`shard_errors` holds the structured per-shard
+    :class:`~repro.engine.sharded.ShardError` records and
+    :attr:`partial` the surviving shards' results, so a caller can log
+    exactly which scenario ranges failed and still use the rest.
+    """
+
+    def __init__(self, message: str, shard_errors: tuple = (), partial: tuple = ()):
+        super().__init__(message)
+        self.shard_errors = tuple(shard_errors)
+        self.partial = tuple(partial)
 
 
 class FallbackExhaustedError(ReproError):

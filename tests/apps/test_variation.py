@@ -1,15 +1,19 @@
 """Unit tests for Monte-Carlo variation analysis and linearized sigma."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.apps import (
+    DelaySamples,
     VariationModel,
+    VariationStudy,
     linearized_sigma,
     sample_delays,
 )
 from repro.circuit import fig5_tree, scale_tree_to_zeta
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 
 
 @pytest.fixture(scope="module")
@@ -118,3 +122,82 @@ class TestLinearizedSigma:
     def test_zero_variation_zero_sigma(self, tree):
         _, sigma = linearized_sigma(tree, "n7", VariationModel(0.0, 0.0, 0.0))
         assert sigma == 0.0
+
+
+class TestDegenerateSampleCounts:
+    """The ddof=1 / rank-correlation degenerate cases are rejected or NaN."""
+
+    def test_exact_samples_of_one_rejected(self, tree):
+        with pytest.raises(ConfigurationError, match=r"exact_samples"):
+            sample_delays(
+                tree, "n7", VariationModel(), samples=10, exact_samples=1
+            )
+
+    def test_negative_exact_samples_rejected(self, tree):
+        with pytest.raises(ConfigurationError, match=r"non-negative"):
+            sample_delays(
+                tree, "n7", VariationModel(), samples=10, exact_samples=-1
+            )
+
+    def test_single_sample_sigma_is_nan_not_warning(self):
+        # np.std(ddof=1) on one value divides by zero; under the suite's
+        # promoted warnings that was a crash. It must be a quiet NaN.
+        assert math.isnan(DelaySamples(values=np.array([1.0])).sigma)
+
+    def test_empty_sigma_is_nan(self):
+        assert math.isnan(DelaySamples(values=np.empty(0)).sigma)
+
+    def test_two_samples_have_a_sigma(self):
+        assert DelaySamples(values=np.array([1.0, 3.0])).sigma == (
+            pytest.approx(math.sqrt(2.0))
+        )
+
+    def test_rank_correlation_needs_two_exact_samples(self):
+        lone = DelaySamples(values=np.array([1.0]))
+        pair = DelaySamples(values=np.array([1.0, 2.0]))
+        study = VariationStudy(node="n7", rlc=pair, rc=pair, exact=lone)
+        with pytest.raises(ConfigurationError, match=r"at least 2 exact"):
+            study.rank_correlation()
+
+    def test_rank_correlation_fine_with_two(self):
+        pair = DelaySamples(values=np.array([1.0, 2.0]))
+        study = VariationStudy(node="n7", rlc=pair, rc=pair, exact=pair)
+        assert study.rank_correlation() == pytest.approx(1.0)
+
+
+class TestShardedSampling:
+    """workers= routes through the dispatch pool with bitwise-equal draws."""
+
+    def test_workers_bitwise_identical(self, tree):
+        serial = sample_delays(
+            tree, "n7", VariationModel(), samples=40, seed=11
+        )
+        sharded = sample_delays(
+            tree, "n7", VariationModel(), samples=40, seed=11, workers=2
+        )
+        np.testing.assert_array_equal(serial.rlc.values, sharded.rlc.values)
+        np.testing.assert_array_equal(serial.rc.values, sharded.rc.values)
+
+    def test_workers_one_is_serial_path(self, tree):
+        serial = sample_delays(
+            tree, "n7", VariationModel(), samples=20, seed=4
+        )
+        explicit = sample_delays(
+            tree, "n7", VariationModel(), samples=20, seed=4, workers=1
+        )
+        np.testing.assert_array_equal(serial.rlc.values, explicit.rlc.values)
+
+    def test_rng_stream_unaffected_by_workers(self, tree):
+        """The exact-simulation draws share the same factor rows either way."""
+        serial = sample_delays(
+            tree, "n7", VariationModel(), samples=12, exact_samples=3,
+            seed=8,
+        )
+        sharded = sample_delays(
+            tree, "n7", VariationModel(), samples=12, exact_samples=3,
+            seed=8, workers=2,
+        )
+        np.testing.assert_array_equal(
+            serial.exact.values, sharded.exact.values
+        )
+        assert serial.rank_correlation() == sharded.rank_correlation()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps import WireSizingProblem, optimize_width
+from repro.apps import WireSizingProblem, optimize_width, sweep_widths
 from repro.errors import ReproError
 
 
@@ -91,3 +91,35 @@ class TestDelayCurveShape:
             1 for a, b in zip(diffs, diffs[1:]) if a < 0 <= b
         )
         assert transitions <= 1
+
+
+class TestSweepWidths:
+    WIDTHS = np.geomspace(0.3e-6, 8e-6, 9)
+
+    def test_serial_matches_per_width_delay(self, problem):
+        delays = sweep_widths(problem, self.WIDTHS)
+        expected = [problem.delay(w) for w in self.WIDTHS]
+        np.testing.assert_array_equal(delays, expected)
+
+    @pytest.mark.parametrize("model", ["rc", "rlc"])
+    def test_workers_bitwise_identical(self, problem, model):
+        serial = sweep_widths(problem, self.WIDTHS, model=model)
+        sharded = sweep_widths(problem, self.WIDTHS, model=model, workers=2)
+        np.testing.assert_array_equal(serial, sharded)
+
+    def test_sweep_brackets_the_optimum(self, problem):
+        result = optimize_width(problem)
+        delays = sweep_widths(problem, self.WIDTHS, workers=2)
+        assert delays.min() >= result.delay - 1e-18
+        assert delays.min() <= 1.2 * result.delay
+
+    def test_empty_grid(self, problem):
+        assert sweep_widths(problem, []).shape == (0,)
+
+    def test_unknown_model_rejected(self, problem):
+        with pytest.raises(ReproError):
+            sweep_widths(problem, self.WIDTHS, model="hspice")
+
+    def test_out_of_range_width_rejected(self, problem):
+        with pytest.raises(ReproError):
+            sweep_widths(problem, [problem.max_width * 2], workers=2)

@@ -5,8 +5,15 @@ import pytest
 
 from repro.analysis import TreeAnalyzer
 from repro.circuit import Section
-from repro.engine import analyze_batch, clear_topology_cache, compile_tree
-from repro.errors import ReductionError, TopologyError
+from repro.engine import (
+    analyze_batch,
+    clear_topology_cache,
+    compile_tree,
+    evaluate,
+    metrics_from_sums,
+    timing_table,
+)
+from repro.errors import ConfigurationError, ReductionError, TopologyError
 
 
 @pytest.fixture(autouse=True)
@@ -169,3 +176,79 @@ class TestBatchValidation:
         batch = analyze_batch(compiled, capacitance=c)
         assert np.all(np.isfinite(batch.delay_50[0]))
         assert np.all(np.isnan(batch.delay_50[1]))
+
+
+class TestSettleBandDomain:
+    """The vectorized paths validate settle_band like the scalar analyzer."""
+
+    BAD = (0.0, -0.5, 1.0, 1.5)
+
+    @pytest.mark.parametrize("band", BAD)
+    def test_metrics_from_sums_rejects(self, fig5, band):
+        compiled = compile_tree(fig5)
+        t_rc, t_lc = compiled.second_order_sums()
+        with pytest.raises(ConfigurationError, match=r"settle_band"):
+            metrics_from_sums(t_rc, t_lc, band)
+
+    @pytest.mark.parametrize("band", BAD)
+    def test_evaluate_rejects(self, fig5, band):
+        with pytest.raises(ConfigurationError, match=r"settle_band"):
+            evaluate(compile_tree(fig5), settle_band=band)
+
+    @pytest.mark.parametrize("band", BAD)
+    def test_timing_table_rejects(self, fig5, band):
+        with pytest.raises(ConfigurationError, match=r"settle_band"):
+            timing_table(fig5, settle_band=band)
+
+    @pytest.mark.parametrize("band", BAD)
+    def test_analyze_batch_rejects(self, fig5, band):
+        compiled = compile_tree(fig5)
+        block = np.stack(
+            [compiled.resistance, compiled.inductance, compiled.capacitance]
+        )[np.newaxis]
+        with pytest.raises(ConfigurationError, match=r"settle_band"):
+            analyze_batch(compiled, block, settle_band=band)
+
+    def test_message_matches_scalar_analyzer(self, fig5):
+        """Engine and scalar analyzer report the identical message."""
+        with pytest.raises(ConfigurationError) as engine_err:
+            evaluate(compile_tree(fig5), settle_band=2.0)
+        with pytest.raises(ConfigurationError) as scalar_err:
+            TreeAnalyzer(fig5, settle_band=2.0, use_engine=False)
+        assert str(engine_err.value) == str(scalar_err.value)
+
+    def test_boundaries_of_valid_domain_accepted(self, fig5):
+        compiled = compile_tree(fig5)
+        for band in (1e-9, 0.5, 1.0 - 1e-9):
+            table = evaluate(compiled, settle_band=band)
+            assert np.all(np.isfinite(table.settling))
+
+
+class TestColumnCopySemantics:
+    """BatchTiming.column returns an owned copy, not a live view."""
+
+    def _batch(self, fig5, scenarios=4):
+        compiled = compile_tree(fig5)
+        rng = np.random.default_rng(9)
+        nominal = np.stack(
+            [compiled.resistance, compiled.inductance, compiled.capacitance]
+        )
+        block = factor_block(rng, scenarios, compiled.size) * nominal
+        return analyze_batch(compiled, block)
+
+    def test_column_owns_its_data(self, fig5):
+        column = self._batch(fig5).column("delay_50", "n7")
+        assert column.base is None
+
+    def test_mutating_column_leaves_batch_intact(self, fig5):
+        batch = self._batch(fig5)
+        before = batch.delay_50.copy()
+        column = batch.column("delay_50", "n7")
+        column[:] = -1.0
+        np.testing.assert_array_equal(batch.delay_50, before)
+
+    def test_column_does_not_pin_the_block(self, fig5):
+        """A kept column must not keep the full (S, n) matrix alive."""
+        column = self._batch(fig5).column("settling", "n3")
+        assert column.nbytes == column.size * column.itemsize
+        assert column.flags.owndata

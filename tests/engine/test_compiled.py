@@ -182,3 +182,151 @@ class TestTopologyCache:
                 )
             compile_tree(tree)
         assert topology_cache_info()["size"] == maxsize
+
+
+class TestCacheThreadSafety:
+    """compile_tree's module-global LRU is hammered from many threads."""
+
+    @staticmethod
+    def _line(sections):
+        tree = RLCTree()
+        for i in range(sections):
+            tree.add_section(
+                f"n{i}",
+                "in" if i == 0 else f"n{i - 1}",
+                resistance=1.0 + i,
+                inductance=1e-9,
+                capacitance=1e-13,
+            )
+        return tree
+
+    def test_concurrent_compiles_keep_counters_consistent(self):
+        import threading
+
+        trees = [self._line(k + 2) for k in range(8)]
+        rounds = 30
+        workers = 8
+        errors = []
+        barrier = threading.Barrier(workers)
+
+        def hammer(offset):
+            try:
+                barrier.wait()
+                for i in range(rounds):
+                    compile_tree(trees[(offset + i) % len(trees)])
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        info = topology_cache_info()
+        calls = workers * rounds
+        # Every call either hit or missed — a lost update under a race
+        # would break this invariant.
+        assert info["hits"] + info["misses"] == calls
+        assert len(trees) <= info["misses"] < calls
+        assert info["size"] == len(trees)
+
+    def test_concurrent_eviction_respects_maxsize(self):
+        import threading
+
+        maxsize = topology_cache_info()["maxsize"]
+        trees = [self._line(k + 2) for k in range(maxsize + 10)]
+        workers = 4
+        barrier = threading.Barrier(workers)
+
+        def churn(offset):
+            barrier.wait()
+            for i, tree in enumerate(trees):
+                compile_tree(trees[(offset * 7 + i) % len(trees)])
+
+        threads = [
+            threading.Thread(target=churn, args=(k,)) for k in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = topology_cache_info()
+        assert info["size"] <= maxsize
+        assert info["hits"] + info["misses"] == workers * len(trees)
+
+    def test_racing_same_topology_shares_one_entry(self, fig5):
+        import threading
+
+        results = []
+        barrier = threading.Barrier(6)
+
+        def compile_same():
+            barrier.wait()
+            results.append(compile_tree(fig5))
+
+        threads = [threading.Thread(target=compile_same) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = topology_cache_info()
+        assert info["size"] == 1
+        assert info["hits"] + info["misses"] == 6
+        # Whatever interleaving happened, callers end up on one cached
+        # topology object after the race settles.
+        assert len({id(r.topology) for r in results}) <= 2
+        assert compile_tree(fig5).topology is results[-1].topology
+
+
+class TestAccumulatePrecision:
+    """Segmented sums must not cancel across sibling segments.
+
+    A cumsum-then-subtract segmented sum carries absolute error at the
+    scale of the whole level's total; a node whose subtree sum is
+    epsilon-sized next to siblings carrying huge sums then fails any
+    relative comparison against the dict-based reference.
+    """
+
+    def test_tiny_subtree_next_to_huge_siblings(self):
+        tree = RLCTree()
+        # Two level-1 parents: "big" feeds enormous weights, "small"
+        # feeds the smallest representable section values.
+        tree.add_section("big", "in", resistance=1e4, inductance=1e-7,
+                         capacitance=1e-10)
+        tree.add_section("small", "in", resistance=0.1, inductance=1e-12,
+                         capacitance=1e-16)
+        for k in range(6):
+            tree.add_section(f"b{k}", "big", resistance=1e4,
+                             inductance=1e-7, capacitance=1e-10)
+        tree.add_section("s0", "small", resistance=0.1, inductance=1e-12,
+                         capacitance=1e-16)
+        compiled = compile_tree(tree, cache=False)
+        expected = capacitive_loads(tree)
+        got = compiled.capacitive_loads()
+        for i, name in enumerate(compiled.names):
+            assert float(got[i]) == pytest.approx(
+                expected[name], rel=1e-14, abs=0.0
+            ), name
+
+    def test_second_order_sums_stay_relative(self):
+        tree = RLCTree()
+        tree.add_section("a", "in", resistance=1e4, inductance=1e-7,
+                         capacitance=1e-10)
+        tree.add_section("tiny", "a", resistance=0.1, inductance=1e-12,
+                         capacitance=1e-16)
+        for k in range(5):
+            tree.add_section(f"fat{k}", "a", resistance=1e4,
+                             inductance=1e-7, capacitance=1e-10)
+        compiled = compile_tree(tree, cache=False)
+        t_rc_ref, t_lc_ref = second_order_sums(tree)
+        t_rc, t_lc = compiled.second_order_sums()
+        for i, name in enumerate(compiled.names):
+            assert float(t_rc[i]) == pytest.approx(
+                t_rc_ref[name], rel=1e-12
+            ), name
+            assert float(t_lc[i]) == pytest.approx(
+                t_lc_ref[name], rel=1e-12
+            ), name
