@@ -1,0 +1,65 @@
+"""Incremental delta-update engine — edits and sizing loops vs rebuilds.
+
+Pytest front end for the incremental section of ``run_benchmarks.py``:
+the ``perf``-marked quick test is the CI regression guard (relaxed
+speedup floors at small sizes, the 1e-12 drift gate at full strength),
+and the unmarked report test regenerates the paper-scale numbers behind
+``BENCH_incremental.json``. Both live under ``benchmarks/`` and are
+therefore outside the tier-1 ``tests/`` collection; run them with::
+
+    pytest benchmarks/bench_incremental.py -m perf -s       # quick
+    pytest benchmarks/bench_incremental.py -m "not perf" -s   # full
+"""
+
+import json
+
+import pytest
+
+import run_benchmarks
+
+
+@pytest.mark.perf
+def test_incremental_quick(tmp_path):
+    """The --quick contract: relaxed speedup floors, full drift gate."""
+    results = run_benchmarks.run_incremental(quick=True)
+    (tmp_path / "BENCH_incremental.json").write_text(
+        json.dumps(results, indent=2)
+    )
+    failures = run_benchmarks.check_incremental(results)
+    assert not failures, failures
+
+
+def test_incremental_speedup_targets(report):
+    """Full paper-scale run; writes BENCH_incremental.json at the root."""
+    results = run_benchmarks.run_incremental(quick=False)
+    run_benchmarks.RESULT_INCREMENTAL_PATH.write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    e = results["single_edit"]
+    w = results["optimize_width"]
+    report.table(
+        ("workload", "sections", "full_s", "incremental_s", "speedup"),
+        [
+            (
+                "single_edit",
+                e["sections"],
+                e["full_per_edit_s"] * e["edits"],
+                e["incremental_per_edit_s"] * e["edits"],
+                e["speedup"],
+            ),
+            (
+                "optimize_width",
+                w["sections"],
+                w["full_s"],
+                w["incremental_s"],
+                w["speedup"],
+            ),
+        ],
+    )
+    report.line(
+        f"drift: single_edit {e['max_relative_drift']:.2e}, "
+        f"optimize_width {w['max_relative_drift']:.2e} "
+        f"(limit {results['drift_limit']:.0e})"
+    )
+    failures = run_benchmarks.check_incremental(results)
+    assert not failures, failures

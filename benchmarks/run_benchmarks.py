@@ -8,18 +8,28 @@ results to ``BENCH_engine.json`` at the repository root:
   large tree (``TreeAnalyzer.report()``), vectorized vs per-node scalar;
 * **variation sweep** — S value-perturbed scenarios of one topology,
   one sink delay each: ``analyze_batch`` over a compiled topology vs
-  the per-sample rebuild-and-analyze loop.
+  the per-sample rebuild-and-analyze loop;
+* **incremental edits** — single-segment edit + sink re-time through
+  the delta-update :class:`~repro.engine.incremental.IncrementalAnalyzer`
+  vs a full engine recompute per edit, plus ``optimize_width`` routed
+  through the incremental probe path vs per-probe tree rebuilds
+  (``BENCH_incremental.json``).
 
 Modes::
 
     python benchmarks/run_benchmarks.py            # full (paper-scale)
     python benchmarks/run_benchmarks.py --quick    # CI smoke
+    python benchmarks/run_benchmarks.py --compare PREV.json
 
 Full mode runs a 10k-section tree and a 1000-scenario x 1000-section
 sweep against the release targets (>= 10x and >= 50x). Quick mode runs
 small sizes in a few seconds and exits non-zero if the engine is slower
 than the scalar path at any size >= 2000 sections — the regression
 guard ``bench_engine_scaling.py`` wires into ``pytest -m perf``.
+``--compare`` loads a previously written result JSON (any of the three
+kinds), matches it to the corresponding fresh result by its top-level
+keys, and exits non-zero if any recorded speedup regressed by more
+than 20%.
 """
 
 from __future__ import annotations
@@ -38,21 +48,36 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np
 
 from repro.analysis import TreeAnalyzer
+from repro.apps.wire_sizing import WireSizingProblem, optimize_width
 from repro.circuit import RLCTree, Section, random_tree
 from repro.engine import (
+    IncrementalAnalyzer,
     analyze_batch,
     analyze_batch_sharded,
     analyze_many,
     clear_topology_cache,
     compile_tree,
+    metrics_from_sums,
     shutdown_pool,
     timing_table,
 )
 
 RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
 RESULT_SHARDED_PATH = REPO_ROOT / "BENCH_sharded.json"
+RESULT_INCREMENTAL_PATH = REPO_ROOT / "BENCH_incremental.json"
 
 TARGETS = {"full_tree_10k": 10.0, "variation_1000x1k": 50.0}
+
+#: Release targets of the delta-update engine: a single-segment edit +
+#: sink re-time must beat a full engine recompute by >= 10x at 10k
+#: sections, and the incremental wire-sizing loop must beat the
+#: per-probe rebuild path by >= 3x at 4k sections. Quick mode uses
+#: smaller sizes with relaxed floors as the CI regression guard.
+INCREMENTAL_TARGETS = {"single_edit": 10.0, "optimize_width": 3.0}
+INCREMENTAL_QUICK_TARGETS = {"single_edit": 2.0, "optimize_width": 1.2}
+#: Exactness gate: the incremental path must track the full recompute
+#: to this relative drift on every benchmarked query.
+INCREMENTAL_DRIFT_LIMIT = 1e-12
 
 # The sharded dispatch must show >= 2x over the serial engine — but only
 # where parallel speedup is physically possible: the target is asserted
@@ -239,6 +264,163 @@ def bench_sharded_batch(scenarios: int, chains: int, depth: int,
     }
 
 
+def bench_incremental_edits(chains: int, depth: int, edits: int = 200,
+                            repeats: int = 3) -> dict:
+    """Single-segment edit + sink re-time: delta update vs full sweep.
+
+    The edit-heavy optimization-loop shape: perturb one section's
+    capacitance, then re-read the sink delay. The full path re-runs the
+    engine's O(n) sweeps per edit; the incremental path propagates the
+    delta along the root path and answers the sink query lazily.
+    """
+    tree = comb_tree(chains, depth)
+    clear_topology_cache()
+    compiled = compile_tree(tree)
+    sink = f"c0_{depth - 1}"
+    sink_slot = compiled.topology.node_index(sink)
+    names = compiled.names
+    rng = np.random.default_rng(0)
+    slots = rng.integers(0, compiled.size, edits)
+    factors = rng.uniform(0.8, 1.25, edits)
+    # Pre-resolve each edit to an absolute value so both paths apply the
+    # identical sequence without peeking at each other's state.
+    running = compiled.capacitance.copy()
+    values = np.empty(edits)
+    for k, (slot, factor) in enumerate(zip(slots, factors)):
+        running[slot] *= factor
+        values[k] = running[slot]
+
+    def run_full() -> np.ndarray:
+        current = compiled.capacitance.copy()
+        out = np.empty(edits)
+        for k, slot in enumerate(slots):
+            current[slot] = values[k]
+            perturbed = compiled.with_values(
+                resistance=compiled.resistance,
+                inductance=compiled.inductance,
+                capacitance=current,
+            )
+            t_rc, t_lc = perturbed.second_order_sums()
+            metrics = metrics_from_sums(
+                np.float64(t_rc[sink_slot]),
+                np.float64(t_lc[sink_slot]),
+                select=("delay_50",),
+            )
+            out[k] = float(metrics.delay_50)
+        return out
+
+    def run_incremental() -> np.ndarray:
+        analyzer = IncrementalAnalyzer(compiled)
+        out = np.empty(edits)
+        for k, slot in enumerate(slots):
+            analyzer.set_capacitance(names[slot], float(values[k]))
+            out[k] = analyzer.value("delay_50", sink)
+        return out
+
+    full_delays = run_full()
+    incremental_delays = run_incremental()
+    drift = float(
+        np.max(np.abs(incremental_delays - full_delays) / np.abs(full_delays))
+    )
+    full_s = best_of(max(1, repeats - 2), run_full)
+    incremental_s = best_of(repeats, run_incremental)
+    return {
+        "sections": compiled.size,
+        "edits": edits,
+        "max_relative_drift": drift,
+        "full_per_edit_s": full_s / edits,
+        "incremental_per_edit_s": incremental_s / edits,
+        "speedup": full_s / incremental_s,
+    }
+
+
+def bench_incremental_sizing(num_sections: int, repeats: int = 3) -> dict:
+    """optimize_width through the incremental probe path vs rebuilds.
+
+    Both paths run the same bounded Brent search; the incremental one
+    answers each width probe with a bulk value load + sink point query
+    on the problem's compiled template. The template compile is warmed
+    first, like any real sizing loop that reuses one problem.
+    """
+    problem = WireSizingProblem(num_sections=num_sections)
+
+    def run_incremental():
+        return optimize_width(problem)
+
+    def run_full():
+        return optimize_width(problem, use_incremental=False)
+
+    run_incremental()  # warm the compiled template + topology cache
+    result_full = run_full()
+    result_incremental = run_incremental()
+    drift = abs(result_incremental.delay - result_full.delay) / abs(
+        result_full.delay
+    )
+    full_s = best_of(max(1, repeats - 2), run_full)
+    incremental_s = best_of(repeats, run_incremental)
+    return {
+        "sections": num_sections,
+        "evaluations": result_incremental.evaluations,
+        "width_match": result_incremental.width == result_full.width,
+        "max_relative_drift": float(drift),
+        "full_s": full_s,
+        "incremental_s": incremental_s,
+        "speedup": full_s / incremental_s,
+    }
+
+
+def run_incremental(quick: bool) -> dict:
+    """The delta-update numbers behind BENCH_incremental.json."""
+    if quick:
+        single_edit = bench_incremental_edits(20, 100)    # 2001 sections
+        sizing = bench_incremental_sizing(500)
+    else:
+        single_edit = bench_incremental_edits(100, 100)   # 10001 sections
+        sizing = bench_incremental_sizing(4000)
+    targets = INCREMENTAL_QUICK_TARGETS if quick else INCREMENTAL_TARGETS
+    return {
+        "mode": "quick" if quick else "full",
+        "single_edit": single_edit,
+        "optimize_width": sizing,
+        "targets": targets,
+        "drift_limit": INCREMENTAL_DRIFT_LIMIT,
+        "satisfied": {
+            "single_edit": single_edit["speedup"] >= targets["single_edit"],
+            "optimize_width": sizing["speedup"] >= targets["optimize_width"],
+        },
+    }
+
+
+def check_incremental(results: dict) -> list:
+    """Failure messages for an incremental run (empty when acceptable).
+
+    Drift is a correctness gate (the delta-update engine must track the
+    full recompute to 1e-12 relative); the speedup floors come from the
+    run's own mode-appropriate targets.
+    """
+    failures = []
+    for label in ("single_edit", "optimize_width"):
+        row = results[label]
+        if row["max_relative_drift"] > INCREMENTAL_DRIFT_LIMIT:
+            failures.append(
+                f"incremental {label} drifted from the full recompute by "
+                f"{row['max_relative_drift']:.3e} "
+                f"(limit {INCREMENTAL_DRIFT_LIMIT:.0e})"
+            )
+        target = results["targets"][label]
+        if row["speedup"] < target:
+            failures.append(
+                f"incremental {label} speedup {row['speedup']:.2f}x below "
+                f"the {target:.1f}x target at {row['sections']} sections"
+            )
+    if not results["optimize_width"]["width_match"]:
+        failures.append(
+            "incremental optimize_width chose a different width than the "
+            "rebuild path"
+        )
+    return failures
+
+
 def run_sharded(quick: bool) -> dict:
     """The sharded-vs-serial scaling numbers behind BENCH_sharded.json."""
     cores = os.cpu_count() or 1
@@ -341,6 +523,72 @@ def check(results: dict) -> list:
     return failures
 
 
+#: Fraction of a previously recorded speedup a fresh run must retain;
+#: anything below is a --compare regression failure.
+COMPARE_RETAIN = 0.8
+
+
+def collect_speedups(obj, prefix: str = "") -> dict:
+    """Every numeric ``*speedup*`` leaf of a result tree, by dotted path.
+
+    ``target``-flavored keys are configuration, not measurements, and
+    are skipped.
+    """
+    found = {}
+    if isinstance(obj, dict):
+        items = obj.items()
+    elif isinstance(obj, list):
+        items = ((f"[{i}]", value) for i, value in enumerate(obj))
+    else:
+        return found
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if (
+            isinstance(value, (int, float))
+            and "speedup" in str(key)
+            and "target" not in str(key)
+        ):
+            found[path] = float(value)
+        else:
+            found.update(collect_speedups(value, path))
+    return found
+
+
+def result_kind(results: dict) -> str:
+    """Which benchmark family a result JSON came from, by its keys."""
+    for kind, marker in (
+        ("engine", "full_tree"),
+        ("sharded", "many_trees"),
+        ("incremental", "single_edit"),
+    ):
+        if marker in results:
+            return kind
+    return "unknown"
+
+
+def compare_results(new: dict, previous: dict) -> list:
+    """Regression messages: fresh speedups vs a previous result JSON.
+
+    Walks every recorded ``speedup`` value in ``previous`` and fails
+    any whose fresh counterpart dropped below ``COMPARE_RETAIN`` of the
+    old number. Paths present on only one side are ignored (sizes and
+    modes may legitimately differ between runs).
+    """
+    failures = []
+    fresh = collect_speedups(new)
+    for path, old in collect_speedups(previous).items():
+        current = fresh.get(path)
+        if current is None or old <= 0.0:
+            continue
+        if current < COMPARE_RETAIN * old:
+            failures.append(
+                f"speedup regression at {path}: {current:.2f}x vs "
+                f"previous {old:.2f}x (allowed floor "
+                f"{COMPARE_RETAIN * old:.2f}x)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -360,10 +608,29 @@ def main(argv=None) -> int:
         default=RESULT_SHARDED_PATH,
         help=f"sharded result JSON path (default: {RESULT_SHARDED_PATH})",
     )
+    parser.add_argument(
+        "--incremental-output",
+        type=pathlib.Path,
+        default=RESULT_INCREMENTAL_PATH,
+        help="incremental result JSON path "
+        f"(default: {RESULT_INCREMENTAL_PATH})",
+    )
+    parser.add_argument(
+        "--compare",
+        type=pathlib.Path,
+        default=None,
+        metavar="PREV.json",
+        help="previous result JSON; exit non-zero if any speedup it "
+        f"records regressed by more than {1.0 - COMPARE_RETAIN:.0%}",
+    )
     args = parser.parse_args(argv)
 
     results = run(args.quick)
     args.output.write_text(json.dumps(results, indent=2) + "\n")
+    incremental = run_incremental(args.quick)
+    args.incremental_output.write_text(
+        json.dumps(incremental, indent=2) + "\n"
+    )
     sharded = run_sharded(args.quick)
     args.sharded_output.write_text(json.dumps(sharded, indent=2) + "\n")
 
@@ -380,6 +647,19 @@ def main(argv=None) -> int:
         f"variation sweep  {v['scenarios']}x{v['sections']}: "
         f"scalar {v['scalar_s']:.3f}s  engine {v['engine_s']:.4f}s  "
         f"-> {v['speedup']:.1f}x"
+    )
+    e = incremental["single_edit"]
+    print(
+        f"single edit      n={e['sections']:>6}: "
+        f"full {e['full_per_edit_s'] * 1e6:.0f}us/edit  "
+        f"incremental {e['incremental_per_edit_s'] * 1e6:.0f}us/edit  "
+        f"-> {e['speedup']:.1f}x (drift {e['max_relative_drift']:.1e})"
+    )
+    w = incremental["optimize_width"]
+    print(
+        f"wire sizing      n={w['sections']:>6}: "
+        f"full {w['full_s']:.3f}s  incremental {w['incremental_s']:.4f}s  "
+        f"-> {w['speedup']:.1f}x (drift {w['max_relative_drift']:.1e})"
     )
     m = sharded["many_trees"]
     print(
@@ -400,9 +680,29 @@ def main(argv=None) -> int:
             f"note: {sharded['cores']} cores < "
             f"{MIN_CORES_FOR_TARGET}: sharded speedup target not asserted"
         )
-    print(f"results written to {args.output} and {args.sharded_output}")
+    print(
+        f"results written to {args.output}, {args.incremental_output} "
+        f"and {args.sharded_output}"
+    )
 
-    failures = check(results) + check_sharded(sharded)
+    failures = (
+        check(results)
+        + check_incremental(incremental)
+        + check_sharded(sharded)
+    )
+    if args.compare is not None:
+        previous = json.loads(args.compare.read_text())
+        current = {
+            "engine": results,
+            "incremental": incremental,
+            "sharded": sharded,
+        }.get(result_kind(previous))
+        if current is None:
+            failures.append(
+                f"--compare {args.compare}: unrecognized result layout"
+            )
+        else:
+            failures.extend(compare_results(current, previous))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -28,8 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
-from ..analysis.delay import delay_50_from_sums, elmore_delay
+import numpy as np
+
+from ..analysis.delay import _LN2, delay_50_from_sums, elmore_delay
 from ..circuit.tree import RLCTree
+from ..engine.incremental import segment_delays
 from ..errors import ReproError
 from ..robustness.guarded import shielded
 
@@ -69,6 +72,15 @@ class Buffer:
         return self.intrinsic_delay + elmore_delay(
             self.output_resistance * load_capacitance
         )
+
+    def driving_delays(self, load_capacitances: np.ndarray) -> np.ndarray:
+        """:meth:`driving_delay` over a vector of loads at once.
+
+        Same operations in the same association as the scalar method, so
+        each lane matches ``driving_delay(load)`` bit for bit.
+        """
+        loads = np.asarray(load_capacitances, dtype=float)
+        return self.intrinsic_delay + _LN2 * (self.output_resistance * loads)
 
 
 @shielded
@@ -129,6 +141,7 @@ def insert_buffers(
     model: DelayModel = "rlc",
     candidate_nodes: Optional[Sequence[str]] = None,
     driver_resistance: float = 0.0,
+    use_incremental: bool = True,
 ) -> InsertionResult:
     """Van Ginneken buffer insertion maximizing required time at the root.
 
@@ -150,6 +163,13 @@ def insert_buffers(
     driver_resistance:
         Source driver resistance; when positive, the driver's own delay
         into the chosen root capacitance is charged against the result.
+    use_incremental:
+        Score each node's whole Pareto frontier with the engine's
+        vectorized kernels (:func:`repro.engine.incremental.
+        segment_delays` for the wire walk, :meth:`Buffer.driving_delays`
+        for the buffer option) — one array call per node instead of one
+        scalar call per candidate. ``False`` is the escape hatch to the
+        per-candidate scalar path; both evaluate the same arithmetic.
 
     Returns the candidate with the best required time at the root.
     """
@@ -180,35 +200,52 @@ def insert_buffers(
         # Option: insert a buffer at this node (driving `base`).
         options = list(base)
         if node in allowed:
-            for candidate in base:
-                buffered_required = candidate.required - buffer.driving_delay(
-                    candidate.capacitance
+            if use_incremental:
+                buffer_delays = buffer.driving_delays(
+                    np.array([c.capacitance for c in base])
                 )
+            else:
+                buffer_delays = [
+                    buffer.driving_delay(c.capacitance) for c in base
+                ]
+            for candidate, delay in zip(base, buffer_delays):
                 options.append(
                     _Candidate(
                         capacitance=buffer.input_capacitance,
-                        required=buffered_required,
+                        required=candidate.required - float(delay),
                         placements=candidate.placements + (node,),
                     )
                 )
         # Walk the wire segment up toward the parent.
         section = tree.section(node)
-        walked = []
-        for candidate in _prune(options):
-            delay = wire_segment_delay(
+        pruned = _prune(options)
+        if use_incremental:
+            wire_delays = segment_delays(
                 section.resistance,
                 section.inductance,
                 section.capacitance,
-                candidate.capacitance,
+                np.array([c.capacitance for c in pruned]),
                 model,
             )
-            walked.append(
-                _Candidate(
-                    capacitance=candidate.capacitance + section.capacitance,
-                    required=candidate.required - delay,
-                    placements=candidate.placements,
+        else:
+            wire_delays = [
+                wire_segment_delay(
+                    section.resistance,
+                    section.inductance,
+                    section.capacitance,
+                    candidate.capacitance,
+                    model,
                 )
+                for candidate in pruned
+            ]
+        walked = [
+            _Candidate(
+                capacitance=candidate.capacitance + section.capacitance,
+                required=candidate.required - float(delay),
+                placements=candidate.placements,
             )
+            for candidate, delay in zip(pruned, wire_delays)
+        ]
         frontiers[node] = _prune(walked)
 
     root_options = _merge_children(

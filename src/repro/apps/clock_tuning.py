@@ -33,7 +33,8 @@ from ..analysis.analyzer import TreeAnalyzer
 from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
-from ..engine import timing_table
+from ..engine import compile_tree, timing_table
+from ..engine.incremental import IncrementalAnalyzer
 from ..errors import ReproError
 from ..robustness.guarded import shielded
 
@@ -70,6 +71,35 @@ def model_skew(tree: RLCTree) -> float:
         analyzer = TreeAnalyzer(tree)
         delays = [analyzer.delay_50(sink) for sink in tree.leaves()]
     return max(delays) - min(delays)
+
+
+class _IncrementalObjective:
+    """Skew-variance probes through one delta-update analyzer.
+
+    Descent probes many rejected width proposals per accepted step; this
+    evaluates each probe as a bulk value load plus sink point queries on
+    the nominal tree's compiled structure — no tree copy, no per-probe
+    sensitivity recursion. The analytic gradient stays on the
+    :func:`~repro.analysis.sensitivity.delay_sensitivities` path and is
+    only recomputed at accepted points.
+    """
+
+    def __init__(self, nominal: RLCTree):
+        compiled = compile_tree(nominal)
+        self._analyzer = IncrementalAnalyzer(compiled)
+        self._names = compiled.names
+        self._r0 = compiled.resistance
+        self._c0 = compiled.capacitance
+        self._sinks = nominal.leaves()
+
+    def __call__(self, widths: Dict[str, float]) -> float:
+        factors = np.array([widths.get(name, 1.0) for name in self._names])
+        self._analyzer.set_values(
+            resistance=self._r0 / factors,
+            capacitance=self._c0 * factors,
+        )
+        delays = self._analyzer.metric_at("delay_50", self._sinks)
+        return float(((delays - delays.mean()) ** 2).sum())
 
 
 def _objective_and_gradient(
@@ -126,6 +156,7 @@ def tune_clock_tree(
     min_width: float = 0.25,
     max_width: float = 4.0,
     tolerance: float = 1e-4,
+    use_incremental: bool = True,
 ) -> TuningResult:
     """Equalize sink delays by per-section width descent.
 
@@ -133,6 +164,14 @@ def tune_clock_tree(
     iteration; backtracking halves it whenever a step fails to improve
     the objective. Stops early once the skew variance improves by less
     than ``tolerance`` (relative) over an iteration.
+
+    With ``use_incremental`` (the default) each proposal is scored by
+    :class:`_IncrementalObjective` — a bulk value swap plus sink point
+    queries on the compiled nominal structure — and the O(sinks x n)
+    sensitivity gradient is recomputed only at *accepted* points, so
+    backtracking probes cost array work instead of full analysis
+    passes. ``use_incremental=False`` is the escape hatch to the
+    original per-proposal :func:`delay_sensitivities` evaluation.
     """
     if tree.size == 0 or len(tree.leaves()) < 2:
         raise ReproError("tuning needs a tree with at least two sinks")
@@ -143,7 +182,12 @@ def tune_clock_tree(
 
     widths: Dict[str, float] = {name: 1.0 for name in tree.nodes}
     skew_before = model_skew(tree)
-    objective, gradient = _objective_and_gradient(tree, widths)
+    probe = _IncrementalObjective(tree) if use_incremental else None
+    if probe is not None:
+        objective = probe(widths)
+        gradient = _objective_and_gradient(tree, widths)[1]
+    else:
+        objective, gradient = _objective_and_gradient(tree, widths)
     trace: List[float] = [objective]
     step = initial_step
     performed = 0
@@ -162,14 +206,25 @@ def tune_clock_tree(
             )
             for name in widths
         }
-        new_objective, new_gradient = _objective_and_gradient(tree, proposal)
+        if probe is not None:
+            new_objective = probe(proposal)
+            new_gradient = None
+        else:
+            new_objective, new_gradient = _objective_and_gradient(
+                tree, proposal
+            )
         performed += 1
         if new_objective < objective:
             improvement = (objective - new_objective) / objective
-            widths, objective, gradient = proposal, new_objective, new_gradient
+            widths, objective = proposal, new_objective
             trace.append(objective)
             if improvement < tolerance:
                 break
+            gradient = (
+                _objective_and_gradient(tree, widths)[1]
+                if new_gradient is None
+                else new_gradient
+            )
         else:
             step *= 0.5
             if step < 1e-4:

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal, Optional, Sequence
+from functools import lru_cache
+from typing import Literal, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import minimize_scalar
@@ -34,6 +35,8 @@ from ..circuit.builders import distributed_line
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..engine import compile_tree, timing_table
+from ..engine.compiled import CompiledTree
+from ..engine.incremental import IncrementalAnalyzer
 from ..engine.sharded import analyze_batch_sharded
 from ..errors import ElementValueError, ReproError
 from ..robustness.guarded import shielded
@@ -114,6 +117,45 @@ class WireSizingProblem:
     def sink(self) -> str:
         return f"n{self.num_sections}"
 
+    def compiled_template(self, model: DelayModel = "rlc") -> CompiledTree:
+        """The compiled driver+wire structure, built once per problem.
+
+        Every width shares one topology; optimizer loops reuse this
+        template and swap in :meth:`value_vectors` per probe instead of
+        rebuilding a Python tree each evaluation.
+        """
+        return _compiled_template(self, model)
+
+    def value_vectors(
+        self, width: float, model: DelayModel = "rlc"
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-section ``(R, L, C)`` vectors for one width, in the
+        compiled template's slot order.
+
+        These are exactly the value vectors ``compile_tree(self.tree(
+        width, model))`` would extract — same arithmetic, same slots —
+        without building the n-node Python tree, so a width probe costs
+        three array fills instead of an O(n) object walk.
+        """
+        self._check_width(width)
+        topology = _compiled_template(self, model).topology
+        n = topology.size
+        r_sec = self.wire_resistance(width) / self.num_sections
+        l_total = self.wire_inductance(width) if model == "rlc" else 0.0
+        l_sec = l_total / self.num_sections
+        c_sec = self.wire_capacitance(width) / self.num_sections
+        resistance = np.full(n, r_sec)
+        inductance = np.full(n, l_sec)
+        capacitance = np.full(n, c_sec)
+        drv = topology.node_index("drv")
+        resistance[drv] = self.driver_resistance
+        inductance[drv] = 0.0
+        capacitance[drv] = 1e-18
+        capacitance[topology.node_index(self.sink())] = (
+            c_sec + self.load_capacitance
+        )
+        return resistance, inductance, capacitance
+
     def delay(self, width: float, model: DelayModel = "rlc") -> float:
         """Closed-form 50% delay at the receiver for one width.
 
@@ -132,6 +174,13 @@ class WireSizingProblem:
             raise ReproError(
                 f"width {width!r} outside [{self.min_width}, {self.max_width}]"
             )
+
+
+@lru_cache(maxsize=32)
+def _compiled_template(
+    problem: WireSizingProblem, model: DelayModel
+) -> CompiledTree:
+    return compile_tree(problem.tree(problem.min_width, model))
 
 
 @dataclass(frozen=True)
@@ -206,6 +255,7 @@ def optimize_width(
     problem: WireSizingProblem,
     model: DelayModel = "rlc",
     tolerance: float = 1e-9,
+    use_incremental: bool = True,
 ) -> SizingResult:
     """Minimize receiver delay over wire width (bounded scalar search).
 
@@ -213,15 +263,43 @@ def optimize_width(
     are resistance-limited, wide wires capacitance-limited), so bounded
     Brent search is appropriate and cheap — each evaluation is two O(n)
     tree sweeps, the property the paper's closed forms exist to provide.
+
+    With ``use_incremental`` (the default) every width probe goes
+    through one :class:`~repro.engine.incremental.IncrementalAnalyzer`
+    on the problem's compiled template: three array fills
+    (:meth:`WireSizingProblem.value_vectors`), a bulk value load, and a
+    point query at the sink — no per-probe tree construction or
+    full-table evaluation. ``use_incremental=False`` is the escape
+    hatch back to :meth:`WireSizingProblem.delay`; both paths evaluate
+    the same kernel arithmetic on the same value vectors.
     """
     if model not in ("rc", "rlc"):
         raise ReproError(f"unknown delay model {model!r}; use 'rc' or 'rlc'")
     evaluations = 0
 
-    def objective(width: float) -> float:
-        nonlocal evaluations
-        evaluations += 1
-        return problem.delay(width, model)
+    if use_incremental:
+        analyzer = IncrementalAnalyzer(problem.compiled_template(model))
+        sink = problem.sink()
+
+        def objective(width: float) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            resistance, inductance, capacitance = problem.value_vectors(
+                width, model
+            )
+            analyzer.set_values(
+                resistance=resistance,
+                inductance=inductance,
+                capacitance=capacitance,
+            )
+            return analyzer.value("delay_50", sink)
+
+    else:
+
+        def objective(width: float) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            return problem.delay(width, model)
 
     result = minimize_scalar(
         objective,

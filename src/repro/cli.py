@@ -49,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     parser.add_argument(
         "--debug", action="store_true",
-        help="print full tracebacks instead of one-line error messages",
+        help="print full tracebacks instead of one-line error messages, "
+        "and dump the engine cache/counter statistics to stderr after "
+        "the command",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -333,17 +335,31 @@ _COMMANDS = {
 }
 
 
+def _print_cache_info() -> None:
+    """Dump every engine cache/counter group to stderr (``--debug``)."""
+    from .engine import cache_info
+
+    print("engine caches:", file=sys.stderr)
+    for group, counters in cache_info().items():
+        body = ", ".join(f"{key}={value}" for key, value in counters.items())
+        print(f"  {group}: {body}", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
     Exit codes: 0 success, 2 for well-typed failures (a
     :class:`~repro.errors.ReproError` or a missing file), 3 for anything
-    unexpected. ``--debug`` re-raises instead, for a full traceback.
+    unexpected. ``--debug`` re-raises instead, for a full traceback, and
+    prints the engine's cache/counter statistics to stderr.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        exit_code = _COMMANDS[args.command](args)
+        if args.debug:
+            _print_cache_info()
+        return exit_code
     except ReproError as exc:
         if args.debug:
             raise

@@ -68,6 +68,29 @@ from .sharded import (
     analyze_many,
     shutdown_pool,
 )
+from .dispatch import dispatch_pool
+from .incremental import (
+    EditSession,
+    IncrementalAnalyzer,
+    clear_incremental_counters,
+    incremental_cache_info,
+    segment_delays,
+)
+
+
+def cache_info():
+    """Every engine-layer cache/counter group, as one nested dict.
+
+    ``"topology"`` is the structural-compile LRU of this process
+    (:func:`topology_cache_info`, including lazily built preorder
+    layouts); ``"incremental"`` is the delta-update engine's counters
+    (:func:`incremental_cache_info`). The CLI prints this under
+    ``--debug``.
+    """
+    return {
+        "topology": topology_cache_info(),
+        "incremental": incremental_cache_info(),
+    }
 
 __all__ = [
     "CompiledTopology",
@@ -92,4 +115,11 @@ __all__ = [
     "analyze_many",
     "analyze_batch_sharded",
     "shutdown_pool",
+    "dispatch_pool",
+    "IncrementalAnalyzer",
+    "EditSession",
+    "segment_delays",
+    "incremental_cache_info",
+    "clear_incremental_counters",
+    "cache_info",
 ]

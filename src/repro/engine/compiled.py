@@ -156,6 +156,26 @@ class CompiledTopology:
         self.child_ends = offsets[1:]
         self.child_indices = child_indices
 
+        #: True when the tree is a pure chain in insertion order
+        #: (``parent[i] == i - 1`` with the root feeding node 0). Both
+        #: sweep directions then collapse to a single ``cumsum`` instead
+        #: of one python-level iteration per tree level — the dominant
+        #: cost on deep nets, where ``depth == n``.
+        self.is_chain = bool(
+            n > 0
+            and parent[0] == n
+            and np.array_equal(parent[1:], np.arange(n - 1))
+        )
+
+        # Preorder layout (order/position/end), built lazily by
+        # preorder_layout() — only incremental edits need it.
+        self._preorder: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # Lazy per-slot root-path cache and a plain-python parent list,
+        # both for the incremental engine's O(depth) walks (python-int
+        # arithmetic beats numpy scalar indexing ~10x on these).
+        self._root_paths: Dict[int, Tuple[np.ndarray, List[int]]] = {}
+        self._parent_pylist: Optional[List[int]] = None
+
     @classmethod
     def from_tree(cls, tree: RLCTree) -> "CompiledTopology":
         names = tree.nodes
@@ -177,6 +197,16 @@ class CompiledTopology:
         segment-sum per level, deepest first — additions only, exactly
         the Appendix's postorder pass.
         """
+        if self.is_chain:
+            # Reverse running sum. Bitwise identical to the level loop:
+            # both form acc[k] = w[k] (+) acc[k+1] one partial sum at a
+            # time, and IEEE addition is commutative, so the operand
+            # order difference (accumulator left vs right) cannot change
+            # a single bit.
+            w = np.asarray(weights, dtype=float)
+            return np.ascontiguousarray(
+                np.cumsum(w[..., ::-1], axis=-1)[..., ::-1]
+            )
         acc = np.array(weights, dtype=float, copy=True)
         for group in self.levels[:0:-1]:  # deepest level down to level 2
             # Sibling segments tile the level (starts[0] == 0, ends
@@ -197,6 +227,10 @@ class CompiledTopology:
         contributing zero; one gather + add per level, shallow first.
         """
         contrib = np.asarray(contrib, dtype=float)
+        if self.is_chain:
+            # Plain running sum — the level loop's exact association
+            # (accumulator + contrib, one element per step).
+            return np.cumsum(contrib, axis=-1)
         n = self.size
         out = np.zeros(contrib.shape[:-1] + (n + 1,))
         for group in self.levels:
@@ -227,6 +261,82 @@ class CompiledTopology:
     def children(self, slot: int) -> np.ndarray:
         """Child slots of node ``slot`` (pass ``size`` for the root)."""
         return self.child_indices[self.child_offsets[slot]:self.child_ends[slot]]
+
+    def preorder_layout(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(order, position, end)``: preorder permutation + subtree spans.
+
+        ``order[k]`` is the k-th slot of a root-first DFS with children
+        visited in insertion order; ``position``/``end`` delimit each
+        subtree inside it, so ``order[position[i]:end[i]]`` lists
+        subtree(i) as one *contiguous* range. That contiguity is what
+        lets the incremental engine apply a subtree-constant offset as a
+        single slice operation instead of a tree walk. Built lazily on
+        first use and cached on the topology (the batch engine never
+        needs it).
+        """
+        layout = self._preorder
+        if layout is None:
+            global _preorder_builds
+            n = self.size
+            order = np.empty(n, dtype=np.intp)
+            position = np.empty(n, dtype=np.intp)
+            end = np.empty(n, dtype=np.intp)
+            cursor = 0
+            stack = [(int(slot), False) for slot in self.children(n)[::-1]]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    end[node] = cursor
+                    continue
+                order[cursor] = node
+                position[node] = cursor
+                cursor += 1
+                stack.append((node, True))
+                kids = self.child_indices[
+                    self.child_offsets[node]:self.child_ends[node]
+                ]
+                stack.extend((int(k), False) for k in kids[::-1])
+            layout = (order, position, end)
+            self._preorder = layout
+            with _cache_lock:
+                _preorder_builds += 1
+        return layout
+
+    def parent_list(self) -> List[int]:
+        """The parent slots as a plain python list (cached).
+
+        Walking a root path with python-int list indexing is an order of
+        magnitude faster than indexing the numpy ``parent`` array one
+        scalar at a time — the difference between O(depth) walks that
+        beat a full sweep and ones that do not.
+        """
+        parents = self._parent_pylist
+        if parents is None:
+            parents = self.parent.tolist()
+            self._parent_pylist = parents
+        return parents
+
+    def root_path(self, slot: int) -> Tuple[np.ndarray, List[int]]:
+        """The slots from ``slot`` up to its level-1 ancestor, cached.
+
+        Returns ``(array, list)`` of the same path — the array form for
+        fancy-indexed vector updates, the list form for python-loop
+        composition. Paths are structural, so the per-slot cache lives
+        on the topology; worst case it holds O(n * depth) entries, the
+        same order as the level tables of a degenerate chain.
+        """
+        cached = self._root_paths.get(slot)
+        if cached is None:
+            parents = self.parent_list()
+            n = self.size
+            path: List[int] = []
+            s = slot
+            while s != n:
+                path.append(s)
+                s = parents[s]
+            cached = (np.array(path, dtype=np.intp), path)
+            self._root_paths[slot] = cached
+        return cached
 
     def node_index(self, name: str) -> int:
         try:
@@ -364,6 +474,7 @@ _cache: "OrderedDict[Tuple, CompiledTopology]" = OrderedDict()
 _cache_lock = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
+_preorder_builds = 0
 
 
 def compile_tree(tree: RLCTree, *, cache: bool = True) -> CompiledTree:
@@ -443,11 +554,12 @@ def seed_topology_cache(
 
 def clear_topology_cache() -> None:
     """Empty the topology cache and reset its counters."""
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _preorder_builds
     with _cache_lock:
         _cache.clear()
         _cache_hits = 0
         _cache_misses = 0
+        _preorder_builds = 0
 
 
 def topology_cache_info() -> Dict[str, int]:
@@ -463,4 +575,5 @@ def topology_cache_info() -> Dict[str, int]:
             "misses": _cache_misses,
             "size": len(_cache),
             "maxsize": _CACHE_MAXSIZE,
+            "preorder_builds": _preorder_builds,
         }

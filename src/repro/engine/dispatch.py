@@ -31,13 +31,15 @@ torn down at interpreter exit.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing
 import os
 import pickle
 import threading
 import traceback
+import weakref
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -70,6 +72,7 @@ __all__ = [
     "run_tree_unit",
     "run_batch_shard",
     "get_pool",
+    "dispatch_pool",
     "shutdown_pool",
     "pool_size",
     "worker_cache_infos",
@@ -93,12 +96,22 @@ class BlockRef:
     shape: Tuple[int, ...]
 
 
+#: Every SharedBlock whose segment is still linked. The atexit hook
+#: drains it so an interpreter shutting down mid-dispatch (a crashed
+#: caller, a KeyboardInterrupt between create and close) never leaks a
+#: /dev/shm segment. WeakSet: a block the GC already collected was
+#: either closed or will be reclaimed by the resource tracker.
+_live_blocks: "weakref.WeakSet[SharedBlock]" = weakref.WeakSet()
+
+
 class SharedBlock:
     """Parent-side owner of one shared-memory float64 array.
 
     Copies ``array`` into a fresh segment on construction; :attr:`ref`
     is the picklable descriptor shipped to workers. The parent must call
-    :meth:`close` (which also unlinks) once every consumer is done.
+    :meth:`close` (which also unlinks) once every consumer is done —
+    most simply by using the block as a context manager. Blocks left
+    open are unlinked by the interpreter-exit hook as a last resort.
     """
 
     def __init__(self, array: np.ndarray):
@@ -110,9 +123,17 @@ class SharedBlock:
         )
         np.ndarray(array.shape, dtype=float, buffer=self._shm.buf)[...] = array
         self.ref = BlockRef(name=self._shm.name, shape=array.shape)
+        _live_blocks.add(self)
+
+    def __enter__(self) -> "SharedBlock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def close(self) -> None:
         """Release and unlink the segment (idempotent)."""
+        _live_blocks.discard(self)
         try:
             self._shm.close()
             self._shm.unlink()
@@ -328,7 +349,41 @@ def shutdown_pool() -> None:
     _pool_barrier = None
 
 
-atexit.register(shutdown_pool)
+@contextlib.contextmanager
+def dispatch_pool(workers: int) -> Iterator[Any]:
+    """Scope the shared worker pool to a ``with`` block.
+
+    Creates (or resizes) the persistent pool on entry and tears it down
+    on exit, whatever happens inside — the deterministic-lifecycle
+    counterpart of the lazily-created pool that
+    :func:`~repro.engine.sharded.analyze_many` and
+    :func:`~repro.engine.sharded.analyze_batch_sharded` otherwise leave
+    running for cache warmth. Dispatch calls made inside the block with
+    a matching ``workers`` count reuse this pool. The ``atexit`` hook
+    remains the fallback for pools created outside any such scope, so
+    interpreter shutdown never leaks worker processes either way.
+    """
+    pool = get_pool(workers)
+    try:
+        yield pool
+    finally:
+        shutdown_pool()
+
+
+def _atexit_cleanup() -> None:
+    """Interpreter-exit fallback: close leaked blocks, stop the pool.
+
+    Blocks are unlinked *before* the pool is terminated so no worker is
+    killed mid-read of a segment that then disappears under a
+    still-running sibling; by exit time no dispatch call is in flight,
+    so any surviving block is simply a leak to reclaim.
+    """
+    for block in list(_live_blocks):
+        block.close()
+    shutdown_pool()
+
+
+atexit.register(_atexit_cleanup)
 
 
 def pool_size() -> int:

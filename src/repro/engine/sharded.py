@@ -33,6 +33,7 @@ runs serially in-process through the same code path.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -54,6 +55,7 @@ __all__ = [
     "analyze_many",
     "analyze_batch_sharded",
     "topology_cache_info",
+    "dispatch_pool",
     "shutdown_pool",
 ]
 
@@ -306,7 +308,9 @@ def analyze_batch_sharded(
             shared = _dispatch.SharedBlock(block)
         except (OSError, ValueError):
             shared = None  # e.g. /dev/shm unavailable: ship inline
-    try:
+    with contextlib.ExitStack() as stack:
+        if shared is not None:
+            stack.enter_context(shared)
         units = []
         for index, (start, stop) in enumerate(slices):
             units.append(
@@ -325,9 +329,6 @@ def analyze_batch_sharded(
                 )
             )
         raw = _run_units(units, _dispatch.run_batch_shard, workers)
-    finally:
-        if shared is not None:
-            shared.close()
 
     by_index = {index: (status, body) for index, status, body in raw}
     errors: List[ShardError] = []
@@ -401,11 +402,13 @@ def topology_cache_info() -> Dict:
         "misses": parent["misses"],
         "size": parent["size"],
         "maxsize": parent["maxsize"],
+        "preorder_builds": parent.get("preorder_builds", 0),
     }
     for info in workers.values():
         combined["hits"] += info["hits"]
         combined["misses"] += info["misses"]
         combined["size"] += info["size"]
+        combined["preorder_builds"] += info.get("preorder_builds", 0)
     combined["parent"] = parent
     combined["workers"] = workers
     return combined
@@ -414,3 +417,8 @@ def topology_cache_info() -> Dict:
 def shutdown_pool() -> None:
     """Tear down the shared worker pool (safe to call when idle)."""
     _dispatch.shutdown_pool()
+
+
+#: Re-exported scope manager for the persistent pool — see
+#: :func:`repro.engine.dispatch.dispatch_pool`.
+dispatch_pool = _dispatch.dispatch_pool

@@ -178,6 +178,17 @@ class GuardedAnalyzer:
     max_rescale_retries:
         Bound on unit-rescaling retries in the exact tier (0 disables
         rescaling entirely).
+    closed_form_backend:
+        What answers the ``closed-form`` tier. ``None`` (default) uses
+        the engine table / :class:`~repro.analysis.TreeAnalyzer` pair.
+        The string ``"incremental"`` builds an
+        :class:`~repro.engine.incremental.IncrementalAnalyzer` over the
+        sanitized tree — edit-heavy callers can then mutate element
+        values through :attr:`closed_form_backend` between queries and
+        keep the full fallback chain (AWE, exact simulation) behind the
+        delta-updated closed forms. Any object with a ``value(metric,
+        node)`` method works; its typed errors feed the tier chain like
+        the default path's do.
     """
 
     DEFAULT_CHAIN: Tuple[str, ...] = ("closed-form", "awe", "exact")
@@ -198,6 +209,7 @@ class GuardedAnalyzer:
         policy: Optional[RepairPolicy] = None,
         awe_order: int = 3,
         max_rescale_retries: int = 1,
+        closed_form_backend: object = None,
     ):
         chain = tuple(chain)
         unknown = [t for t in chain if t not in self.DEFAULT_CHAIN]
@@ -223,6 +235,21 @@ class GuardedAnalyzer:
         self.validation.raise_if_errors()
 
         self._analyzer = TreeAnalyzer(self._tree, settle_band=settle_band)
+        if closed_form_backend == "incremental":
+            from ..engine.incremental import IncrementalAnalyzer
+
+            closed_form_backend = IncrementalAnalyzer(
+                self._tree, settle_band=settle_band
+            )
+        elif closed_form_backend is not None and not callable(
+            getattr(closed_form_backend, "value", None)
+        ):
+            raise ConfigurationError(
+                "closed_form_backend must be None, 'incremental', or an "
+                "object with a value(metric, node) method; got "
+                f"{closed_form_backend!r}"
+            )
+        self._closed_form_backend = closed_form_backend
         # Exact-tier simulators, one per rescaling attempt, built lazily:
         # attempt index -> (simulator, helper analyzer, time scale).
         self._exact_cache: Dict[int, Tuple[object, TreeAnalyzer, float]] = {}
@@ -237,6 +264,17 @@ class GuardedAnalyzer:
     @property
     def chain(self) -> Tuple[str, ...]:
         return self._chain
+
+    @property
+    def closed_form_backend(self):
+        """The closed-form tier's backend, or ``None`` for the default.
+
+        With ``closed_form_backend="incremental"`` this is the live
+        :class:`~repro.engine.incremental.IncrementalAnalyzer`: edit
+        element values through it and subsequent guarded queries see
+        the updated tree at delta-update cost.
+        """
+        return self._closed_form_backend
 
     def query(self, metric: str, node: str) -> RobustnessReport:
         """Resolve one metric through the fallback chain.
@@ -311,13 +349,23 @@ class GuardedAnalyzer:
         """All metrics for one node, each resolved through the chain."""
         reports = tuple(self.query(metric, node) for metric in _METRICS)
         values = {r.metric: r.value for r in reports}
-        t_rc, t_lc = self._analyzer.sums(node)
+        # An edited backend is the live source of truth for the sums and
+        # damping; the static helper analyzer only sees the input tree.
+        backend = self._closed_form_backend
+        if backend is not None and callable(getattr(backend, "sums", None)):
+            t_rc, t_lc = backend.sums(node)
+            zeta = backend.value("zeta", node)
+            omega_n = backend.value("omega_n", node)
+        else:
+            t_rc, t_lc = self._analyzer.sums(node)
+            zeta = self._analyzer.zeta(node)
+            omega_n = self._analyzer.omega_n(node)
         return GuardedTiming(
             node=node,
             t_rc=t_rc,
             t_lc=t_lc,
-            zeta=self._analyzer.zeta(node),
-            omega_n=self._analyzer.omega_n(node),
+            zeta=zeta,
+            omega_n=omega_n,
             delay_50=values["delay_50"],
             rise_time=values["rise_time"],
             overshoot=values["overshoot"],
@@ -335,6 +383,9 @@ class GuardedAnalyzer:
     def _tier_closed_form(
         self, metric: str, node: str
     ) -> Tuple[float, bool, str]:
+        if self._closed_form_backend is not None:
+            value = self._closed_form_backend.value(metric, node)
+            return float(value), False, "delta-update backend"
         # The engine's table and the analyzer's per-node accessors read
         # the same arrays, so tier answers stay identical to direct
         # TreeAnalyzer queries; the table path just skips per-call

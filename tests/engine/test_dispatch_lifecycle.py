@@ -1,0 +1,108 @@
+"""Deterministic lifecycles of the dispatch layer's process resources.
+
+The pool and the shared-memory blocks both follow the same rule: scope
+them with a context manager for deterministic teardown, with the
+``atexit`` hook only as a last-resort fallback. These tests exercise the
+context-manager paths — creation, reuse, teardown on success and on
+error, and idempotent close — without relying on interpreter exit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import fig5_tree, random_tree
+from repro.engine import analyze_many, dispatch_pool
+from repro.engine.dispatch import (
+    SharedBlock,
+    _live_blocks,
+    pool_size,
+    shared_memory_available,
+    shutdown_pool,
+)
+from repro.errors import ReproError
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on platform"
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_pool():
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+class TestDispatchPoolScope:
+    def test_pool_lives_only_inside_block(self):
+        assert pool_size() == 0
+        with dispatch_pool(2):
+            assert pool_size() == 2
+        assert pool_size() == 0
+
+    def test_teardown_happens_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with dispatch_pool(2):
+                assert pool_size() == 2
+                raise RuntimeError("boom")
+        assert pool_size() == 0
+
+    def test_too_few_workers_rejected(self):
+        with pytest.raises(ReproError):
+            with dispatch_pool(1):
+                pass  # pragma: no cover - never entered
+
+    def test_dispatch_inside_scope_reuses_pool(self):
+        from numpy.random import default_rng
+
+        trees = [fig5_tree(), random_tree(10, default_rng(0))]
+        with dispatch_pool(2) as pool:
+            outcomes = analyze_many(trees, workers=2)
+            assert pool_size() == 2
+            # Same pool object is still the live one after dispatching.
+            from repro.engine.dispatch import get_pool
+
+            assert get_pool(2) is pool
+        assert pool_size() == 0
+        from repro.engine import TimingTable
+
+        assert len(outcomes) == len(trees)
+        assert all(isinstance(o, TimingTable) for o in outcomes)
+
+
+class TestSharedBlockScope:
+    def test_context_manager_closes_and_unregisters(self):
+        data = np.arange(12.0).reshape(3, 4)
+        with SharedBlock(data) as block:
+            assert block in _live_blocks
+            assert block.ref.shape == (3, 4)
+        assert block not in _live_blocks
+        # The segment is gone: attaching by name must fail.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=block.ref.name)
+
+    def test_close_is_idempotent(self):
+        block = SharedBlock(np.ones(4))
+        block.close()
+        block.close()
+        assert block not in _live_blocks
+
+    def test_block_copies_data(self):
+        from repro.engine.dispatch import _attach_block
+
+        data = np.array([1.0, 2.0, 3.0])
+        with SharedBlock(data) as block:
+            data[0] = 99.0  # mutating the source is invisible
+            segment, view = _attach_block(block.ref)
+            try:
+                assert view.tolist() == [1.0, 2.0, 3.0]
+            finally:
+                segment.close()
+
+    def test_exception_inside_block_still_cleans_up(self):
+        with pytest.raises(ValueError, match="inner"):
+            with SharedBlock(np.zeros(2)) as block:
+                raise ValueError("inner")
+        assert block not in _live_blocks

@@ -272,3 +272,34 @@ class TestExitCodes:
         captured = capsys.readouterr()
         assert "n2" in captured.out
         assert "zero-capacitance" in captured.err
+
+
+class TestDebugCacheDump:
+    """--debug appends the engine cache/counter groups to stderr."""
+
+    def test_debug_prints_engine_caches(self, netlist_path, capsys):
+        assert main(["--debug", "analyze", netlist_path]) == 0
+        err = capsys.readouterr().err
+        assert "engine caches:" in err
+        assert "topology:" in err
+        assert "incremental:" in err
+        assert "preorder_builds=" in err
+        assert "analyzers=" in err
+
+    def test_without_debug_no_cache_dump(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path]) == 0
+        assert "engine caches:" not in capsys.readouterr().err
+
+    def test_debug_dump_reflects_activity(self, netlist_path, capsys):
+        from repro.engine import clear_topology_cache
+
+        clear_topology_cache()
+        assert main(["--debug", "analyze", netlist_path]) == 0
+        err = capsys.readouterr().err
+        line = next(l for l in err.splitlines() if "topology:" in l)
+        counters = dict(
+            pair.strip().split("=")
+            for pair in line.split(":", 1)[1].split(", ")
+        )
+        assert int(counters["size"]) >= 0
+        assert int(counters["misses"]) + int(counters["hits"]) >= 1
