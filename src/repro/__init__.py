@@ -23,6 +23,10 @@ Package layout:
 * :mod:`repro.analysis` — the paper's closed forms (the contribution)
 * :mod:`repro.simulation` — exact LTI solvers (the AS/X substitute)
 * :mod:`repro.reduction` — AWE and Kahng-Muddu baselines
+* :mod:`repro.engine` — compiled vectorized kernels, delta updates and
+  the multi-process dispatch layer
+* :mod:`repro.runtime` — the unified execution runtime: backend
+  registry, workload-aware routing and one instrumentation surface
 * :mod:`repro.apps` — buffer insertion, wire sizing, clock skew built on
   the continuous RLC delay model
 * :mod:`repro.robustness` — validation, numerical-health probes and the
@@ -52,6 +56,12 @@ from .robustness import (
     sanitize,
     validate_tree,
 )
+from .runtime import (
+    ExecutionContext,
+    RuntimeConfig,
+    Workload,
+    default_context,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +88,9 @@ __all__ = [
     "RepairPolicy",
     "validate_tree",
     "sanitize",
+    "ExecutionContext",
+    "RuntimeConfig",
+    "Workload",
+    "default_context",
     "__version__",
 ]

@@ -35,6 +35,13 @@ from ..circuit.tree import RLCTree
 from ..engine.incremental import segment_delays
 from ..errors import ReproError
 from ..robustness.guarded import shielded
+from ..runtime import (
+    ExecutionContext,
+    RuntimeConfig,
+    Workload,
+    resolve_context,
+    warn_deprecated_alias,
+)
 
 __all__ = [
     "Buffer",
@@ -141,7 +148,10 @@ def insert_buffers(
     model: DelayModel = "rlc",
     candidate_nodes: Optional[Sequence[str]] = None,
     driver_resistance: float = 0.0,
-    use_incremental: bool = True,
+    use_incremental: Optional[bool] = None,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> InsertionResult:
     """Van Ginneken buffer insertion maximizing required time at the root.
 
@@ -164,12 +174,18 @@ def insert_buffers(
         Source driver resistance; when positive, the driver's own delay
         into the chosen root capacitance is charged against the result.
     use_incremental:
-        Score each node's whole Pareto frontier with the engine's
-        vectorized kernels (:func:`repro.engine.incremental.
-        segment_delays` for the wire walk, :meth:`Buffer.driving_delays`
-        for the buffer option) — one array call per node instead of one
-        scalar call per candidate. ``False`` is the escape hatch to the
-        per-candidate scalar path; both evaluate the same arithmetic.
+        Deprecated alias for forcing the frontier-scoring backend:
+        ``True`` forces the vectorized kernels, ``False`` the
+        per-candidate scalar path. Prefer ``config=RuntimeConfig(
+        backend="scalar")`` for the escape hatch.
+
+    By default the runtime planner routes frontier scoring: each node's
+    whole Pareto frontier goes through the engine's vectorized kernels
+    (:func:`repro.engine.incremental.segment_delays` for the wire walk,
+    :meth:`Buffer.driving_delays` for the buffer option) — one array
+    call per node instead of one scalar call per candidate. Forcing the
+    scalar backend evaluates the same arithmetic per candidate; the
+    kernels match the scalar path bit for bit either way.
 
     Returns the candidate with the best required time at the root.
     """
@@ -184,83 +200,101 @@ def insert_buffers(
     if unknown:
         raise ReproError(f"candidate nodes not in tree: {sorted(unknown)}")
 
+    backend = None
+    if use_incremental is not None:
+        warn_deprecated_alias(
+            "insert_buffers",
+            "use_incremental",
+            "config=RuntimeConfig(backend=...)",
+        )
+        backend = "compiled" if use_incremental else "scalar"
+    runtime = resolve_context(context, config)
+    # The DP streams closed-form point evaluations, one frontier per
+    # node; the kernels match the scalar arithmetic bit for bit, so the
+    # planner's small-tree scalar routing changes cost, never results.
+    decision = runtime.plan(
+        Workload(kind="point", tree_size=tree.size), backend
+    )
+    vectorized = decision.backend != "scalar"
+
     frontiers: Dict[str, List[_Candidate]] = {}
-    for node in tree.postorder():
-        children = tree.children(node)
-        if not children:
-            base = [
-                _Candidate(
-                    capacitance=sink_capacitance.get(node, 0.0),
-                    required=sink_required.get(node, 0.0),
-                    placements=(),
-                )
-            ]
-        else:
-            base = _merge_children([frontiers.pop(c) for c in children])
-        # Option: insert a buffer at this node (driving `base`).
-        options = list(base)
-        if node in allowed:
-            if use_incremental:
-                buffer_delays = buffer.driving_delays(
-                    np.array([c.capacitance for c in base])
-                )
-            else:
-                buffer_delays = [
-                    buffer.driving_delay(c.capacitance) for c in base
-                ]
-            for candidate, delay in zip(base, buffer_delays):
-                options.append(
+    with runtime.track(decision.backend, "point"):
+        for node in tree.postorder():
+            children = tree.children(node)
+            if not children:
+                base = [
                     _Candidate(
-                        capacitance=buffer.input_capacitance,
-                        required=candidate.required - float(delay),
-                        placements=candidate.placements + (node,),
+                        capacitance=sink_capacitance.get(node, 0.0),
+                        required=sink_required.get(node, 0.0),
+                        placements=(),
                     )
-                )
-        # Walk the wire segment up toward the parent.
-        section = tree.section(node)
-        pruned = _prune(options)
-        if use_incremental:
-            wire_delays = segment_delays(
-                section.resistance,
-                section.inductance,
-                section.capacitance,
-                np.array([c.capacitance for c in pruned]),
-                model,
-            )
-        else:
-            wire_delays = [
-                wire_segment_delay(
+                ]
+            else:
+                base = _merge_children([frontiers.pop(c) for c in children])
+            # Option: insert a buffer at this node (driving `base`).
+            options = list(base)
+            if node in allowed:
+                if vectorized:
+                    buffer_delays = buffer.driving_delays(
+                        np.array([c.capacitance for c in base])
+                    )
+                else:
+                    buffer_delays = [
+                        buffer.driving_delay(c.capacitance) for c in base
+                    ]
+                for candidate, delay in zip(base, buffer_delays):
+                    options.append(
+                        _Candidate(
+                            capacitance=buffer.input_capacitance,
+                            required=candidate.required - float(delay),
+                            placements=candidate.placements + (node,),
+                        )
+                    )
+            # Walk the wire segment up toward the parent.
+            section = tree.section(node)
+            pruned = _prune(options)
+            if vectorized:
+                wire_delays = segment_delays(
                     section.resistance,
                     section.inductance,
                     section.capacitance,
-                    candidate.capacitance,
+                    np.array([c.capacitance for c in pruned]),
                     model,
                 )
-                for candidate in pruned
+            else:
+                wire_delays = [
+                    wire_segment_delay(
+                        section.resistance,
+                        section.inductance,
+                        section.capacitance,
+                        candidate.capacitance,
+                        model,
+                    )
+                    for candidate in pruned
+                ]
+            walked = [
+                _Candidate(
+                    capacitance=candidate.capacitance + section.capacitance,
+                    required=candidate.required - float(delay),
+                    placements=candidate.placements,
+                )
+                for candidate, delay in zip(pruned, wire_delays)
             ]
-        walked = [
-            _Candidate(
-                capacitance=candidate.capacitance + section.capacitance,
-                required=candidate.required - float(delay),
-                placements=candidate.placements,
-            )
-            for candidate, delay in zip(pruned, wire_delays)
-        ]
-        frontiers[node] = _prune(walked)
+            frontiers[node] = _prune(walked)
 
-    root_options = _merge_children(
-        [frontiers.pop(c) for c in tree.children(tree.root)]
-    )
-    if driver_resistance > 0.0:
-        root_options = [
-            _Candidate(
-                capacitance=c.capacitance,
-                required=c.required
-                - elmore_delay(driver_resistance * c.capacitance),
-                placements=c.placements,
-            )
-            for c in root_options
-        ]
+        root_options = _merge_children(
+            [frontiers.pop(c) for c in tree.children(tree.root)]
+        )
+        if driver_resistance > 0.0:
+            root_options = [
+                _Candidate(
+                    capacitance=c.capacitance,
+                    required=c.required
+                    - elmore_delay(driver_resistance * c.capacitance),
+                    placements=c.placements,
+                )
+                for c in root_options
+            ]
     best = max(root_options, key=lambda c: c.required)
     return InsertionResult(
         buffer_nodes=best.placements,

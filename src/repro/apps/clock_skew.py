@@ -25,12 +25,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy import stats
 
-from ..analysis.analyzer import TreeAnalyzer
 from ..circuit.builders import balanced_tree
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
 from ..robustness.guarded import shielded
+from ..runtime import ExecutionContext, RuntimeConfig, resolve_context
 from ..simulation.exact import ExactSimulator
 from ..simulation.measures import delay_50 as measure_delay_50
 
@@ -160,14 +160,22 @@ def skew_report(
     tree: RLCTree,
     points: int = 4001,
     span_factor: float = 10.0,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> SkewReport:
-    """Compute the three-model skew comparison for one clock tree."""
+    """Compute the three-model skew comparison for one clock tree.
+
+    Both closed-form columns come out of one runtime session — a
+    full-table workload, so every sink's RLC and RC delay is read from
+    the same planner-chosen backend state.
+    """
     sinks = tree.leaves()
     if not sinks:
         raise ReproError("tree has no sinks")
-    analyzer = TreeAnalyzer(tree)
-    rlc = {s: analyzer.delay_50(s) for s in sinks}
-    rc = {s: analyzer.elmore_delay(s) for s in sinks}
+    session = resolve_context(context, config).session(tree)
+    rlc = {s: session.value("delay_50", s) for s in sinks}
+    rc = {s: session.value("elmore_delay", s) for s in sinks}
 
     simulator = ExactSimulator(tree)
     t = simulator.time_grid(span_factor=span_factor, points=points)

@@ -25,18 +25,23 @@ simulated* skew is reported next to the model's claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..analysis.analyzer import TreeAnalyzer
 from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
-from ..engine import compile_tree, timing_table
-from ..engine.incremental import IncrementalAnalyzer
+from ..engine import compile_tree
 from ..errors import ReproError
 from ..robustness.guarded import shielded
+from ..runtime import (
+    ExecutionContext,
+    RuntimeConfig,
+    Workload,
+    resolve_context,
+    warn_deprecated_alias,
+)
 
 __all__ = ["TuningResult", "tune_clock_tree", "apply_widths", "model_skew"]
 
@@ -56,20 +61,22 @@ def apply_widths(tree: RLCTree, widths: Dict[str, float]) -> RLCTree:
 
 
 @shielded
-def model_skew(tree: RLCTree) -> float:
+def model_skew(
+    tree: RLCTree,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
+) -> float:
     """Closed-form skew: max - min sink delay.
 
-    All sink delays come out of one engine table evaluation (one pair of
-    vectorized tree sweeps) rather than per-sink queries; descent
+    The sink delays come through one runtime session — a full-table
+    workload, so the planner lands on the compiled engine: one pair of
+    vectorized tree sweeps rather than per-sink queries, and descent
     iterations over resized copies of one tree reuse the compiled
     topology.
     """
-    table = timing_table(tree)
-    if table is not None:
-        delays = [table.value("delay_50", sink) for sink in tree.leaves()]
-    else:
-        analyzer = TreeAnalyzer(tree)
-        delays = [analyzer.delay_50(sink) for sink in tree.leaves()]
+    session = resolve_context(context, config).session(tree)
+    delays = [session.value("delay_50", sink) for sink in tree.leaves()]
     return max(delays) - min(delays)
 
 
@@ -84,9 +91,11 @@ class _IncrementalObjective:
     only recomputed at accepted points.
     """
 
-    def __init__(self, nominal: RLCTree):
+    def __init__(self, nominal: RLCTree, runtime: ExecutionContext):
         compiled = compile_tree(nominal)
-        self._analyzer = IncrementalAnalyzer(compiled)
+        session = runtime.session(compiled, backend="incremental", kind="edit")
+        self._runtime = runtime
+        self._analyzer = session.editor()
         self._names = compiled.names
         self._r0 = compiled.resistance
         self._c0 = compiled.capacitance
@@ -94,11 +103,12 @@ class _IncrementalObjective:
 
     def __call__(self, widths: Dict[str, float]) -> float:
         factors = np.array([widths.get(name, 1.0) for name in self._names])
-        self._analyzer.set_values(
-            resistance=self._r0 / factors,
-            capacitance=self._c0 * factors,
-        )
-        delays = self._analyzer.metric_at("delay_50", self._sinks)
+        with self._runtime.track("incremental", "edit"):
+            self._analyzer.set_values(
+                resistance=self._r0 / factors,
+                capacitance=self._c0 * factors,
+            )
+            delays = self._analyzer.metric_at("delay_50", self._sinks)
         return float(((delays - delays.mean()) ** 2).sum())
 
 
@@ -156,7 +166,10 @@ def tune_clock_tree(
     min_width: float = 0.25,
     max_width: float = 4.0,
     tolerance: float = 1e-4,
-    use_incremental: bool = True,
+    use_incremental: Optional[bool] = None,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> TuningResult:
     """Equalize sink delays by per-section width descent.
 
@@ -165,13 +178,18 @@ def tune_clock_tree(
     the objective. Stops early once the skew variance improves by less
     than ``tolerance`` (relative) over an iteration.
 
-    With ``use_incremental`` (the default) each proposal is scored by
-    :class:`_IncrementalObjective` — a bulk value swap plus sink point
-    queries on the compiled nominal structure — and the O(sinks x n)
-    sensitivity gradient is recomputed only at *accepted* points, so
-    backtracking probes cost array work instead of full analysis
-    passes. ``use_incremental=False`` is the escape hatch to the
+    The descent is an edit-stream workload, so by default the runtime
+    planner routes proposal scoring to the delta-update backend: each
+    probe is a bulk value swap plus sink point queries through
+    :class:`_IncrementalObjective` on the compiled nominal structure,
+    and the O(sinks x n) sensitivity gradient is recomputed only at
+    *accepted* points — backtracking probes cost array work instead of
+    full analysis passes. Forcing any non-incremental backend
+    (``config=RuntimeConfig(backend="compiled")``) falls back to the
     original per-proposal :func:`delay_sensitivities` evaluation.
+
+    ``use_incremental`` is a deprecated alias: ``True`` forces the
+    probe path, ``False`` forces the per-proposal evaluation.
     """
     if tree.size == 0 or len(tree.leaves()) < 2:
         raise ReproError("tuning needs a tree with at least two sinks")
@@ -180,9 +198,24 @@ def tune_clock_tree(
     if iterations < 1:
         raise ReproError("need at least one iteration")
 
+    if use_incremental is not None:
+        warn_deprecated_alias(
+            "tune_clock_tree",
+            "use_incremental",
+            "config=RuntimeConfig(backend=...)",
+        )
+    runtime = resolve_context(context, config)
+    if use_incremental is None:
+        decision = runtime.plan(
+            Workload(kind="edit", tree_size=tree.size, edit_count=iterations)
+        )
+        use_probe = decision.backend == "incremental"
+    else:
+        use_probe = use_incremental
+
     widths: Dict[str, float] = {name: 1.0 for name in tree.nodes}
-    skew_before = model_skew(tree)
-    probe = _IncrementalObjective(tree) if use_incremental else None
+    skew_before = model_skew(tree, context=runtime)
+    probe = _IncrementalObjective(tree, runtime) if use_probe else None
     if probe is not None:
         objective = probe(widths)
         gradient = _objective_and_gradient(tree, widths)[1]
@@ -235,7 +268,7 @@ def tune_clock_tree(
         widths=widths,
         tuned_tree=tuned,
         skew_before=skew_before,
-        skew_after=model_skew(tuned),
+        skew_after=model_skew(tuned, context=runtime),
         objective_trace=tuple(trace),
         iterations=performed,
     )

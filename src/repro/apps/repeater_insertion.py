@@ -32,16 +32,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal, Tuple
+from typing import Literal, Optional, Tuple
 
 from scipy.optimize import minimize_scalar
 
-from ..analysis.analyzer import TreeAnalyzer
 from ..circuit.builders import distributed_line
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..errors import ReproError
 from ..robustness.guarded import shielded
+from ..runtime import ExecutionContext, RuntimeConfig, resolve_context
 
 __all__ = [
     "RepeaterLibrary",
@@ -144,12 +144,17 @@ def stage_delay(
     model: DelayModel,
     wire_sections: int = 8,
     last: bool = False,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> float:
     """Closed-form 50% delay of one repeated stage.
 
     The stage is an RLC tree: driver resistance ``r0/h``, a lumped wire
     segment carrying ``1/stages`` of the line totals, and (unless it is
     the final stage) the next repeater's input capacitance at the end.
+    One point query on a ~10-node tree, so the runtime planner routes
+    it to the scalar reference sweep.
     """
     if stages < 1:
         raise ReproError("a line has at least one stage")
@@ -173,7 +178,8 @@ def stage_delay(
             "drv" if parent == segment.root else parent,
             section=segment.section(name),
         )
-    return TreeAnalyzer(tree).delay_50(f"n{wire_sections}")
+    session = resolve_context(context, config).session(tree, kind="point")
+    return session.value("delay_50", f"n{wire_sections}")
 
 
 @shielded
@@ -183,6 +189,9 @@ def total_path_delay(
     count: int,
     size: float,
     model: DelayModel,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> float:
     """Delay of the whole repeated line: stage delays + intrinsics.
 
@@ -190,9 +199,14 @@ def total_path_delay(
     identical stages; every stage but the last drives the next
     repeater's input.
     """
+    runtime = resolve_context(context, config)
     stages = count + 1
-    inner = stage_delay(line, library, stages, size, model, last=False)
-    final = stage_delay(line, library, stages, size, model, last=True)
+    inner = stage_delay(
+        line, library, stages, size, model, last=False, context=runtime
+    )
+    final = stage_delay(
+        line, library, stages, size, model, last=True, context=runtime
+    )
     return count * (inner + library.intrinsic_delay) + final
 
 
@@ -202,6 +216,9 @@ def optimize_repeaters(
     library: RepeaterLibrary,
     model: DelayModel = "rlc",
     max_count: int = 60,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> RepeaterPlan:
     """Jointly optimize repeater count and size under the chosen model.
 
@@ -214,13 +231,16 @@ def optimize_repeaters(
     """
     if model not in ("rc", "rlc"):
         raise ReproError(f"unknown delay model {model!r}; use 'rc' or 'rlc'")
+    runtime = resolve_context(context, config)
 
     best: Tuple[float, int, float] | None = None
     rising_streak = 0
     previous = math.inf
     for count in range(max_count + 1):
         result = minimize_scalar(
-            lambda h: total_path_delay(line, library, count, h, model),
+            lambda h: total_path_delay(
+                line, library, count, h, model, context=runtime
+            ),
             bounds=(1.0, library.max_size),
             method="bounded",
             options={"xatol": 1e-3},

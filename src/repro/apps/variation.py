@@ -27,10 +27,15 @@ from scipy import stats
 from ..analysis.sensitivity import delay_sensitivities
 from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
-from ..engine import analyze_batch, compile_tree
-from ..engine.sharded import analyze_batch_sharded
+from ..engine import compile_tree
 from ..errors import ConfigurationError, ElementValueError, ReproError
 from ..robustness.guarded import shielded
+from ..runtime import (
+    ExecutionContext,
+    RuntimeConfig,
+    resolve_context,
+    warn_deprecated_alias,
+)
 from ..simulation.exact import ExactSimulator
 from ..simulation.measures import delay_50 as measure_delay_50
 
@@ -176,20 +181,26 @@ def sample_delays(
     exact_samples: int = 0,
     seed: int = 0,
     workers: Optional[int] = None,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> VariationStudy:
     """Monte-Carlo delay distribution at ``node``.
 
     The closed-form samples are evaluated as one batch over the compiled
-    topology (:func:`repro.engine.analyze_batch`): the tree is flattened
-    once, all S log-normal factor draws land in an ``(S, 3, n)`` block,
-    and every sample's ``delay_50``/Elmore delay comes out of a single
-    vectorized pass instead of S tree rebuilds and analyzer runs.
+    topology: the tree is flattened once, all S log-normal factor draws
+    land in an ``(S, 3, n)`` block, and every sample's
+    ``delay_50``/Elmore delay comes out of a single vectorized pass
+    instead of S tree rebuilds and analyzer runs. The batch dispatches
+    through the execution runtime
+    (:meth:`repro.runtime.ExecutionContext.batch`), which routes large
+    batches to the sharded worker pool when the runtime config allows
+    workers; the RNG draws stay in this process, so the factor block —
+    and therefore every delay sample — is bitwise identical for any
+    backend and worker count.
 
-    ``workers`` (opt-in) shards that batch across worker processes via
-    :func:`repro.engine.sharded.analyze_batch_sharded`; the RNG draws
-    stay in this process, so the factor block — and therefore every
-    delay sample — is bitwise identical to the in-process path for any
-    worker count.
+    ``workers`` is a deprecated alias for
+    ``config=RuntimeConfig(workers=...)``.
 
     ``exact_samples`` of the draws (the first ones, so they share the
     model draws) are additionally simulated exactly — expensive, so keep
@@ -209,6 +220,13 @@ def sample_delays(
         raise ReproError("exact_samples cannot exceed samples")
     if node not in tree:
         raise ReproError(f"unknown node {node!r}")
+    if workers is not None:
+        warn_deprecated_alias(
+            "sample_delays", "workers", "config=RuntimeConfig(workers=...)"
+        )
+        if context is None:
+            config = (config or RuntimeConfig()).with_workers(workers)
+    runtime = resolve_context(context, config)
     rng = np.random.default_rng(seed)
     compiled = compile_tree(tree)
     # Draw in (sample, section, element) order with the same expression
@@ -220,18 +238,9 @@ def sample_delays(
     nominal = np.stack(
         [compiled.resistance, compiled.inductance, compiled.capacitance]
     )
-    if workers is not None and workers > 1:
-        batch = analyze_batch_sharded(
-            compiled,
-            factors * nominal,
-            metrics=("delay_50", "t_rc"),
-            shards=min(workers, samples),
-            workers=workers,
-        )
-    else:
-        batch = analyze_batch(
-            compiled, factors * nominal, metrics=("delay_50", "t_rc")
-        )
+    batch = runtime.batch(
+        compiled, factors * nominal, metrics=("delay_50", "t_rc")
+    )
     rlc = batch.column("delay_50", node)
     rc = math.log(2.0) * batch.column("t_rc", node)
     if not (np.all(np.isfinite(rlc)) and np.all(np.isfinite(rc))):

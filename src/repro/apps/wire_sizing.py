@@ -36,10 +36,15 @@ from ..circuit.elements import Section
 from ..circuit.tree import RLCTree
 from ..engine import compile_tree, timing_table
 from ..engine.compiled import CompiledTree
-from ..engine.incremental import IncrementalAnalyzer
-from ..engine.sharded import analyze_batch_sharded
 from ..errors import ElementValueError, ReproError
 from ..robustness.guarded import shielded
+from ..runtime import (
+    ExecutionContext,
+    RuntimeConfig,
+    Workload,
+    resolve_context,
+    warn_deprecated_alias,
+)
 
 __all__ = [
     "WireSizingProblem",
@@ -199,6 +204,9 @@ def sweep_widths(
     widths: Sequence[float],
     model: DelayModel = "rlc",
     workers: Optional[int] = None,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> np.ndarray:
     """Receiver delay at every width of a grid, shape ``(len(widths),)``.
 
@@ -207,25 +215,33 @@ def sweep_widths(
     maps, pareto plots, seeding the scalar search), and every width
     shares one topology — exactly the scenario-batch shape.
 
-    ``workers=None`` (or ``<= 1``) evaluates serially through
-    :meth:`WireSizingProblem.delay`, one ``timing_table`` per width.
-    ``workers > 1`` builds one ``(S, 3, n)`` value block from the same
-    per-width trees and shards it across the dispatch pool via
-    :func:`repro.engine.sharded.analyze_batch_sharded`; the block rows
-    are the identical value vectors the serial path extracts, and the
+    The ``(S, 3, n)`` value block built from the per-width trees
+    dispatches through the execution runtime
+    (:meth:`repro.runtime.ExecutionContext.batch`): small grids run on
+    the in-process compiled kernels, large grids shard across the
+    worker pool when the runtime config allows workers. The block rows
+    are the identical value vectors every path extracts, and the
     sharded kernels replicate the serial arithmetic operation for
-    operation, so the returned delays are **bitwise identical** to the
-    serial sweep for any worker count.
+    operation, so the returned delays are **bitwise identical**
+    whichever backend the planner picks.
+
+    ``workers`` is a deprecated alias for
+    ``config=RuntimeConfig(workers=...)``.
     """
     if model not in ("rc", "rlc"):
         raise ReproError(f"unknown delay model {model!r}; use 'rc' or 'rlc'")
+    if workers is not None:
+        warn_deprecated_alias(
+            "sweep_widths", "workers", "config=RuntimeConfig(workers=...)"
+        )
+        if context is None:
+            config = (config or RuntimeConfig()).with_workers(workers)
+    runtime = resolve_context(context, config)
     widths = [float(w) for w in widths]
     if not widths:
         return np.empty(0)
     for width in widths:
         problem._check_width(width)
-    if workers is None or workers <= 1:
-        return np.array([problem.delay(w, model) for w in widths])
 
     compiled = [compile_tree(problem.tree(w, model)) for w in widths]
     block = np.stack(
@@ -234,13 +250,7 @@ def sweep_widths(
             for ct in compiled
         ]
     )
-    batch = analyze_batch_sharded(
-        compiled[0],
-        block,
-        metrics=("delay_50",),
-        shards=min(workers, len(widths)),
-        workers=workers,
-    )
+    batch = runtime.batch(compiled[0], block, metrics=("delay_50",))
     delays = batch.column("delay_50", problem.sink())
     if not np.all(np.isfinite(delays)):
         raise ElementValueError(
@@ -255,7 +265,10 @@ def optimize_width(
     problem: WireSizingProblem,
     model: DelayModel = "rlc",
     tolerance: float = 1e-9,
-    use_incremental: bool = True,
+    use_incremental: Optional[bool] = None,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> SizingResult:
     """Minimize receiver delay over wire width (bounded scalar search).
 
@@ -264,21 +277,46 @@ def optimize_width(
     Brent search is appropriate and cheap — each evaluation is two O(n)
     tree sweeps, the property the paper's closed forms exist to provide.
 
-    With ``use_incremental`` (the default) every width probe goes
-    through one :class:`~repro.engine.incremental.IncrementalAnalyzer`
-    on the problem's compiled template: three array fills
-    (:meth:`WireSizingProblem.value_vectors`), a bulk value load, and a
-    point query at the sink — no per-probe tree construction or
-    full-table evaluation. ``use_incremental=False`` is the escape
-    hatch back to :meth:`WireSizingProblem.delay`; both paths evaluate
-    the same kernel arithmetic on the same value vectors.
+    The probe loop is an edit-stream workload, so the runtime planner
+    routes it to the delta-update backend: every width probe is three
+    array fills (:meth:`WireSizingProblem.value_vectors`), a bulk value
+    load, and a point query at the sink on one
+    :class:`~repro.engine.incremental.IncrementalAnalyzer` over the
+    problem's compiled template — no per-probe tree construction or
+    full-table evaluation. Forcing any other backend (``config=
+    RuntimeConfig(backend="compiled")``) probes through
+    :meth:`WireSizingProblem.delay` instead; both paths evaluate the
+    same kernel arithmetic on the same value vectors.
+
+    ``use_incremental`` is a deprecated alias: ``True`` forces the
+    incremental backend, ``False`` forces the compiled probe path.
     """
     if model not in ("rc", "rlc"):
         raise ReproError(f"unknown delay model {model!r}; use 'rc' or 'rlc'")
+    backend = None
+    if use_incremental is not None:
+        warn_deprecated_alias(
+            "optimize_width",
+            "use_incremental",
+            "config=RuntimeConfig(backend=...)",
+        )
+        backend = "incremental" if use_incremental else "compiled"
+    runtime = resolve_context(context, config)
+    decision = runtime.plan(
+        Workload(
+            kind="edit",
+            tree_size=problem.num_sections + 2,
+            edit_count=problem.num_sections,
+        ),
+        backend,
+    )
     evaluations = 0
 
-    if use_incremental:
-        analyzer = IncrementalAnalyzer(problem.compiled_template(model))
+    if decision.backend == "incremental":
+        session = runtime.session(
+            problem.compiled_template(model), backend="incremental", kind="edit"
+        )
+        analyzer = session.editor()
         sink = problem.sink()
 
         def objective(width: float) -> float:
@@ -299,7 +337,8 @@ def optimize_width(
         def objective(width: float) -> float:
             nonlocal evaluations
             evaluations += 1
-            return problem.delay(width, model)
+            with runtime.track(decision.backend, "edit"):
+                return problem.delay(width, model)
 
     result = minimize_scalar(
         objective,

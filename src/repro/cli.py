@@ -29,6 +29,7 @@ from .analysis import TreeAnalyzer, delay_sensitivities, fit_delay, fit_rise
 from .circuit import WireGeometry, inductance_window
 from .circuit.netlist import loads
 from .errors import ReproError
+from .runtime import BACKEND_NAMES, ExecutionContext, RuntimeConfig
 from .simulation import (
     ExactSimulator,
     ExponentialSource,
@@ -77,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair", action="store_true",
         help="let the guarded analyzer auto-repair invalid element values "
         "(clamp NaN/inf, epsilon capacitance, merge shorts)",
+    )
+    analyze.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="force the execution backend instead of letting the runtime "
+        "planner route by workload (default: auto)",
     )
 
     simulate = commands.add_parser(
@@ -162,13 +168,14 @@ def _read_tree(path: str):
 def _cmd_analyze(args) -> int:
     tree = _read_tree(args.netlist)
     if args.unguarded:
-        analyzer = TreeAnalyzer(tree, settle_band=args.settle_band)
+        analyzer = args.runtime.session(tree, args.settle_band)
     else:
         from .robustness import GuardedAnalyzer, RepairPolicy
 
         policy = RepairPolicy.repair_all() if args.repair else None
         analyzer = GuardedAnalyzer(
-            tree, settle_band=args.settle_band, policy=policy
+            tree, settle_band=args.settle_band, policy=policy,
+            context=args.runtime,
         )
         for diagnostic in analyzer.validation.warnings():
             print(f"warning: {diagnostic}", file=sys.stderr)
@@ -218,7 +225,8 @@ def _cmd_simulate(args) -> int:
     columns = [t, exact]
     header = "time,v_exact"
     if args.model:
-        analyzer = TreeAnalyzer(tree)
+        session = args.runtime.session(tree)
+        analyzer = session.analyzer or TreeAnalyzer(tree)
         model = analyzer.model(args.node)
         if model is None:
             raise ReproError(
@@ -256,7 +264,7 @@ def _cmd_compare(args) -> int:
     from .simulation.measures import rise_time_10_90
 
     tree = _read_tree(args.netlist)
-    analyzer = TreeAnalyzer(tree)
+    session = args.runtime.session(tree)
     simulator = ExactSimulator(tree)
     nodes = args.node if args.node else list(tree.nodes)
     t = simulator.time_grid(points=args.points, span_factor=14.0)
@@ -272,8 +280,8 @@ def _cmd_compare(args) -> int:
     for row, node in enumerate(nodes):
         exact_delay = measured_delay_50(t, waveforms[row])
         exact_rise = rise_time_10_90(t, waveforms[row])
-        model_delay = analyzer.delay_50(node)
-        model_rise = analyzer.rise_time(node)
+        model_delay = session.value("delay_50", node)
+        model_rise = session.value("rise_time", node)
         delay_err = 100.0 * abs(model_delay - exact_delay) / exact_delay
         rise_err = 100.0 * abs(model_rise - exact_rise) / exact_rise
         if args.csv:
@@ -335,14 +343,24 @@ _COMMANDS = {
 }
 
 
-def _print_cache_info() -> None:
-    """Dump every engine cache/counter group to stderr (``--debug``)."""
+def _print_cache_info(runtime: ExecutionContext) -> None:
+    """Dump engine caches and runtime stats to stderr (``--debug``)."""
     from .engine import cache_info
 
     print("engine caches:", file=sys.stderr)
     for group, counters in cache_info().items():
         body = ", ".join(f"{key}={value}" for key, value in counters.items())
         print(f"  {group}: {body}", file=sys.stderr)
+    stats = runtime.stats()
+    print("runtime stats:", file=sys.stderr)
+    for group in ("dispatch", "workloads", "plans", "pool"):
+        counters = stats[group]
+        body = ", ".join(f"{key}={value}" for key, value in counters.items())
+        print(f"  {group}: {body}", file=sys.stderr)
+    phases = ", ".join(
+        f"{name}={seconds:.6f}s" for name, seconds in stats["phases"].items()
+    )
+    print(f"  phases: {phases}", file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -351,15 +369,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     Exit codes: 0 success, 2 for well-typed failures (a
     :class:`~repro.errors.ReproError` or a missing file), 3 for anything
     unexpected. ``--debug`` re-raises instead, for a full traceback, and
-    prints the engine's cache/counter statistics to stderr.
+    prints the engine cache and runtime dispatch statistics to stderr.
+
+    Every command runs inside one :class:`~repro.runtime.ExecutionContext`
+    (``--backend`` forces its routing); the ``with`` block guarantees
+    worker-pool and shared-memory teardown even when a command raises.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    config = RuntimeConfig(backend=getattr(args, "backend", None))
     try:
-        exit_code = _COMMANDS[args.command](args)
-        if args.debug:
-            _print_cache_info()
-        return exit_code
+        with ExecutionContext(config) as runtime:
+            args.runtime = runtime
+            exit_code = _COMMANDS[args.command](args)
+            if args.debug:
+                _print_cache_info(runtime)
+            return exit_code
     except ReproError as exc:
         if args.debug:
             raise

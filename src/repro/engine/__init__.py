@@ -48,18 +48,19 @@ from .compiled import (
     topology_fingerprint,
     topology_key,
 )
+from .dispatch import dispatch_pool
+from .incremental import (
+    EditSession,
+    IncrementalAnalyzer,
+    clear_incremental_counters,
+    incremental_cache_info,
+    segment_delays,
+)
 from .kernels import (
     MetricArrays,
     fast_path_eligible,
     metrics_from_sums,
     validate_settle_band,
-)
-from .table import (
-    BatchTiming,
-    TimingTable,
-    analyze_batch,
-    evaluate,
-    timing_table,
 )
 from .sharded import (
     ShardError,
@@ -68,13 +69,12 @@ from .sharded import (
     analyze_many,
     shutdown_pool,
 )
-from .dispatch import dispatch_pool
-from .incremental import (
-    EditSession,
-    IncrementalAnalyzer,
-    clear_incremental_counters,
-    incremental_cache_info,
-    segment_delays,
+from .table import (
+    BatchTiming,
+    TimingTable,
+    analyze_batch,
+    evaluate,
+    timing_table,
 )
 
 

@@ -46,6 +46,7 @@ from ..errors import (
     ReproError,
     TopologyError,
 )
+from ..runtime import ExecutionContext, RuntimeConfig, resolve_context
 from ..simulation import measures
 from ..simulation.state_space import ensure_positive_capacitance
 from .health import characteristic_scales, eigensystem_probes, rescale_tree
@@ -179,16 +180,23 @@ class GuardedAnalyzer:
         Bound on unit-rescaling retries in the exact tier (0 disables
         rescaling entirely).
     closed_form_backend:
-        What answers the ``closed-form`` tier. ``None`` (default) uses
-        the engine table / :class:`~repro.analysis.TreeAnalyzer` pair.
-        The string ``"incremental"`` builds an
-        :class:`~repro.engine.incremental.IncrementalAnalyzer` over the
-        sanitized tree — edit-heavy callers can then mutate element
-        values through :attr:`closed_form_backend` between queries and
-        keep the full fallback chain (AWE, exact simulation) behind the
-        delta-updated closed forms. Any object with a ``value(metric,
-        node)`` method works; its typed errors feed the tier chain like
-        the default path's do.
+        What answers the ``closed-form`` tier. ``None`` (default) opens
+        a runtime session on the sanitized tree, so the tier rides
+        whatever backend the execution planner picks (the engine table
+        with the scalar sweep as in-state fallback). The string
+        ``"incremental"`` opens an edit-stream session instead, whose
+        live :class:`~repro.engine.incremental.IncrementalAnalyzer` —
+        exposed as :attr:`closed_form_backend` — edit-heavy callers can
+        mutate between queries while keeping the full fallback chain
+        (AWE, exact simulation) behind the delta-updated closed forms.
+        Any object with a ``value(metric, node)`` method works; its
+        typed errors feed the tier chain like the default path's do.
+    config / context:
+        Runtime routing for the closed-form tier: an explicit
+        :class:`~repro.runtime.ExecutionContext` wins, a bare
+        :class:`~repro.runtime.RuntimeConfig` gets its own context,
+        neither means the process default
+        (:func:`~repro.runtime.default_context`).
     """
 
     DEFAULT_CHAIN: Tuple[str, ...] = ("closed-form", "awe", "exact")
@@ -210,6 +218,8 @@ class GuardedAnalyzer:
         awe_order: int = 3,
         max_rescale_retries: int = 1,
         closed_form_backend: object = None,
+        config: Optional[RuntimeConfig] = None,
+        context: Optional[ExecutionContext] = None,
     ):
         chain = tuple(chain)
         unknown = [t for t in chain if t not in self.DEFAULT_CHAIN]
@@ -234,22 +244,30 @@ class GuardedAnalyzer:
         self._tree, self.validation = sanitize(tree, policy)
         self.validation.raise_if_errors()
 
-        self._analyzer = TreeAnalyzer(self._tree, settle_band=settle_band)
+        self._runtime = resolve_context(context, config)
+        self._session = None
         if closed_form_backend == "incremental":
-            from ..engine.incremental import IncrementalAnalyzer
-
-            closed_form_backend = IncrementalAnalyzer(
-                self._tree, settle_band=settle_band
+            self._session = self._runtime.session(
+                self._tree, settle_band, backend="incremental", kind="edit"
             )
-        elif closed_form_backend is not None and not callable(
-            getattr(closed_form_backend, "value", None)
-        ):
+            closed_form_backend = self._session.editor()
+        elif closed_form_backend is None:
+            self._session = self._runtime.session(self._tree, settle_band)
+        elif not callable(getattr(closed_form_backend, "value", None)):
             raise ConfigurationError(
                 "closed_form_backend must be None, 'incremental', or an "
                 "object with a value(metric, node) method; got "
                 f"{closed_form_backend!r}"
             )
         self._closed_form_backend = closed_form_backend
+        # The static helper behind timing()'s sums and the exact tier's
+        # horizon estimates; reuse the session's analyzer when it has one.
+        session_analyzer = (
+            self._session.analyzer if self._session is not None else None
+        )
+        self._analyzer = session_analyzer or TreeAnalyzer(
+            self._tree, settle_band=settle_band
+        )
         # Exact-tier simulators, one per rescaling attempt, built lazily:
         # attempt index -> (simulator, helper analyzer, time scale).
         self._exact_cache: Dict[int, Tuple[object, TreeAnalyzer, float]] = {}
@@ -384,23 +402,20 @@ class GuardedAnalyzer:
         self, metric: str, node: str
     ) -> Tuple[float, bool, str]:
         if self._closed_form_backend is not None:
-            value = self._closed_form_backend.value(metric, node)
+            if self._session is not None:
+                # "incremental": the backend IS the session's editor, so
+                # the query goes through the session and lands on the
+                # runtime's instrumentation counters.
+                value = self._session.value(metric, node)
+            else:
+                value = self._closed_form_backend.value(metric, node)
             return float(value), False, "delta-update backend"
-        # The engine's table and the analyzer's per-node accessors read
-        # the same arrays, so tier answers stay identical to direct
-        # TreeAnalyzer queries; the table path just skips per-call
-        # dispatch. Ineligible trees fall back to the scalar accessors,
-        # whose typed errors the tier chain records.
-        table = self._analyzer.timing_table()
-        if table is not None:
-            return float(table.value(metric, node)), False, ""
-        method = {
-            "delay_50": self._analyzer.delay_50,
-            "rise_time": self._analyzer.rise_time,
-            "overshoot": self._analyzer.overshoot,
-            "settling_time": self._analyzer.settling_time,
-        }[metric]
-        return float(method(node)), False, ""
+        # The session's state reads the engine table when the tree is
+        # eligible and the analyzer's per-node accessors otherwise —
+        # both read the same arrays, so tier answers stay identical to
+        # direct TreeAnalyzer queries, and the scalar path's typed
+        # errors feed the tier chain as before.
+        return float(self._session.value(metric, node)), False, ""
 
     def _tier_awe(self, metric: str, node: str) -> Tuple[float, bool, str]:
         from ..reduction.awe import awe_step_metrics

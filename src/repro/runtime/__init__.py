@@ -1,0 +1,82 @@
+"""The unified execution runtime: registry, routing, instrumentation.
+
+Four PRs gave this reproduction four ways to evaluate the paper's
+closed forms — the scalar :class:`~repro.analysis.TreeAnalyzer`, the
+compiled :class:`~repro.engine.TimingTable` kernels, the delta-update
+:class:`~repro.engine.incremental.IncrementalAnalyzer` and the sharded
+multi-process dispatch layer. This package is the seam that makes them
+one system:
+
+* :mod:`~repro.runtime.backends` — the :class:`Backend` protocol
+  (capabilities: point, table, batch, edit, many) with adapters
+  wrapping the four engines, and the :class:`BackendRegistry` future
+  backends (GPU kernels, async serving) plug into;
+* :mod:`~repro.runtime.planner` — workload-aware routing: tree size,
+  batch size, edit count and tree count pick the backend, every
+  decision carries provenance, and ``backend="..."`` always wins;
+* :mod:`~repro.runtime.context` — :class:`ExecutionContext` /
+  :class:`Session`, the one front door apps, the CLI and the guarded
+  pipeline dispatch through (and the context manager that guarantees
+  pool/shared-memory teardown on exceptions);
+* :mod:`~repro.runtime.config` — :class:`RuntimeConfig`, replacing the
+  scattered ``use_engine=``/``use_incremental=``/``workers=`` flags
+  (kept as deprecated aliases);
+* :mod:`~repro.runtime.stats` — the single instrumentation surface
+  behind ``context.stats()`` and CLI ``--debug``.
+
+See ``docs/ARCHITECTURE.md`` for the layer map and the routing
+decision table.
+"""
+
+from .backends import (
+    Backend,
+    BackendRegistry,
+    CompiledBackend,
+    IncrementalBackend,
+    ScalarBackend,
+    SessionState,
+    ShardedBackend,
+    default_registry,
+)
+from .config import (
+    BACKEND_NAMES,
+    RuntimeConfig,
+    reset_deprecation_warnings,
+    warn_deprecated_alias,
+)
+from .context import (
+    ExecutionContext,
+    Session,
+    default_context,
+    reset_default_context,
+    resolve_context,
+    set_default_context,
+)
+from .planner import WORKLOAD_KINDS, ExecutionPlan, Workload, plan
+from .stats import RuntimeStats
+
+__all__ = [
+    "BACKEND_NAMES",
+    "WORKLOAD_KINDS",
+    "Backend",
+    "BackendRegistry",
+    "CompiledBackend",
+    "ExecutionContext",
+    "ExecutionPlan",
+    "IncrementalBackend",
+    "RuntimeConfig",
+    "RuntimeStats",
+    "ScalarBackend",
+    "Session",
+    "SessionState",
+    "ShardedBackend",
+    "Workload",
+    "default_context",
+    "default_registry",
+    "plan",
+    "reset_default_context",
+    "reset_deprecation_warnings",
+    "resolve_context",
+    "set_default_context",
+    "warn_deprecated_alias",
+]

@@ -1,0 +1,137 @@
+"""Runtime configuration and the deprecated-alias funnel.
+
+One frozen :class:`RuntimeConfig` replaces the ``use_engine=`` /
+``use_incremental=`` / ``workers=`` / ``closed_form_backend=`` flags
+that four generations of PRs threaded separately through every app, the
+CLI and the guarded pipeline. Apps keep their old keyword arguments as
+thin aliases that fold into a config and warn (once per call site) via
+:func:`warn_deprecated_alias`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Set, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "RuntimeConfig",
+    "warn_deprecated_alias",
+    "reset_deprecation_warnings",
+]
+
+#: The registered backend names, in fallback-documentation order.
+BACKEND_NAMES: Tuple[str, ...] = ("scalar", "compiled", "incremental", "sharded")
+
+#: Common prefix of every alias warning; the targeted pytest
+#: ``filterwarnings`` entry in pyproject.toml matches on it.
+_ALIAS_PREFIX = "repro.runtime alias"
+
+#: (function, kwarg) pairs that already warned this process.
+_warned: Set[Tuple[str, str]] = set()
+
+
+def warn_deprecated_alias(func: str, kwarg: str, replacement: str) -> None:
+    """Emit the deprecation warning for one legacy kwarg, exactly once.
+
+    Subsequent calls for the same ``(func, kwarg)`` pair are silent, so
+    optimization loops that pass the old flag thousands of times pay for
+    one warning. :func:`reset_deprecation_warnings` re-arms the set (for
+    tests).
+    """
+    key = (func, kwarg)
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"{_ALIAS_PREFIX}: {func}({kwarg}=...) is deprecated; "
+        f"pass {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which aliases already warned (test isolation)."""
+    _warned.clear()
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything the execution runtime needs to route a workload.
+
+    Parameters
+    ----------
+    backend:
+        Force every dispatch through one backend (``"scalar"``,
+        ``"compiled"``, ``"incremental"`` or ``"sharded"``); ``None``
+        lets :func:`~repro.runtime.planner.plan` choose per workload.
+    workers:
+        Worker-process budget for the sharded backend. ``None`` or
+        ``<= 1`` keeps everything in-process; the planner only routes
+        to ``sharded`` when more than one worker is allowed (or the
+        backend is forced).
+    shards:
+        Shard count for batch dispatch; default
+        ``min(workers, scenarios)``.
+    flush_threshold:
+        Dirty-fraction flush threshold handed to
+        :class:`~repro.engine.incremental.IncrementalAnalyzer`.
+    point_scalar_max:
+        Point queries on trees at or below this node count route to the
+        scalar backend (dict sweeps beat compile-and-gather overhead on
+        small trees); larger trees route to the compiled table.
+    sharded_min_cells:
+        Batches of at least this many cells (``scenarios x nodes``)
+        route to the sharded backend when ``workers > 1``; smaller
+        batches stay on the in-process compiled kernels, whose results
+        are bitwise identical anyway.
+    """
+
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    flush_threshold: float = 0.25
+    point_scalar_max: int = 64
+    sharded_min_cells: int = 4096
+
+    def __post_init__(self):
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{BACKEND_NAMES}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be non-negative, got {self.workers!r}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be at least 1, got {self.shards!r}"
+            )
+        if not 0.0 <= self.flush_threshold <= 1.0:
+            raise ConfigurationError(
+                f"flush_threshold must be in [0, 1], got "
+                f"{self.flush_threshold!r}"
+            )
+        if self.point_scalar_max < 0 or self.sharded_min_cells < 0:
+            raise ConfigurationError(
+                "point_scalar_max and sharded_min_cells must be "
+                "non-negative"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """True when the config allows multi-process dispatch."""
+        return self.workers is not None and self.workers > 1
+
+    def with_backend(self, backend: Optional[str]) -> "RuntimeConfig":
+        """A copy with the forced backend replaced."""
+        return replace(self, backend=backend)
+
+    def with_workers(self, workers: Optional[int]) -> "RuntimeConfig":
+        """A copy with the worker budget replaced."""
+        return replace(self, workers=workers)

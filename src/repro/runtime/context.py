@@ -1,0 +1,333 @@
+"""The execution context: one front door to all four engines.
+
+:class:`ExecutionContext` owns the routing policy
+(:class:`~repro.runtime.config.RuntimeConfig` +
+:func:`~repro.runtime.planner.plan`), the backend registry, the
+instrumentation counters and — when the sharded backend engages — the
+worker pool and shared-memory lifetime. Apps, the CLI and the guarded
+pipeline all go through it:
+
+* :meth:`ExecutionContext.session` — per-tree point/table/edit work,
+  returning a :class:`Session` whose backend was chosen by the planner
+  (or forced);
+* :meth:`ExecutionContext.batch` / :meth:`ExecutionContext.analyze_many`
+  — scenario-batch and multi-tree work;
+* :meth:`ExecutionContext.track` — an instrumentation hook for code
+  that drives engine primitives directly but still wants its work
+  counted on the one surface;
+* :meth:`ExecutionContext.stats` — the single instrumentation snapshot.
+
+Used as a context manager, the context guarantees worker-pool shutdown
+and shared-memory release even when the protected block raises — the
+leak path ``analyze_many`` callers used to have on error exits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..analysis.analyzer import NodeTiming, TreeAnalyzer
+from ..circuit.tree import RLCTree
+from ..engine.compiled import CompiledTree
+from ..engine.incremental import IncrementalAnalyzer
+from ..engine.sharded import ShardError
+from ..engine.table import BatchTiming, TimingTable
+from .backends import BackendRegistry, SessionState, default_registry
+from .config import RuntimeConfig
+from .planner import ExecutionPlan, Workload, plan
+from .stats import RuntimeStats
+
+__all__ = [
+    "ExecutionContext",
+    "Session",
+    "default_context",
+    "set_default_context",
+    "reset_default_context",
+    "resolve_context",
+]
+
+TreeSource = Union[RLCTree, CompiledTree]
+
+
+class Session:
+    """One tree bound to one planned backend, with cached state.
+
+    Obtained from :meth:`ExecutionContext.session`; every query is
+    counted against the owning context's stats under the session's
+    workload kind.
+    """
+
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        state: SessionState,
+        execution_plan: ExecutionPlan,
+    ):
+        self._context = context
+        self._state = state
+        self._plan = execution_plan
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The routing decision (backend + provenance) behind this session."""
+        return self._plan
+
+    @property
+    def backend(self) -> str:
+        return self._plan.backend
+
+    @property
+    def analyzer(self) -> Optional[TreeAnalyzer]:
+        """The underlying :class:`TreeAnalyzer`, for scalar/compiled states."""
+        return self._state.analyzer
+
+    def value(self, metric: str, node: str) -> float:
+        with self._record():
+            return self._state.value(metric, node)
+
+    def timing(self, node: str) -> NodeTiming:
+        with self._record():
+            return self._state.timing(node)
+
+    def sums(self, node: str):
+        with self._record():
+            return self._state.sums(node)
+
+    def report(self, nodes: Optional[Sequence[str]] = None) -> List[NodeTiming]:
+        with self._record():
+            return self._state.report(nodes)
+
+    def table(self) -> Optional[TimingTable]:
+        with self._record():
+            return self._state.table()
+
+    def editor(self) -> IncrementalAnalyzer:
+        """The live delta-update analyzer (incremental sessions only)."""
+        return self._state.editor()
+
+    def _record(self):
+        return self._context._stats.record(
+            self._plan.backend, self._plan.workload.kind
+        )
+
+
+class ExecutionContext:
+    """Routing, caching and instrumentation for one runtime scope."""
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        registry: Optional[BackendRegistry] = None,
+    ):
+        self._config = config or RuntimeConfig()
+        self._registry = registry or default_registry()
+        self._stats = RuntimeStats()
+        self._closed = False
+
+    # -- policy ------------------------------------------------------------
+
+    @property
+    def config(self) -> RuntimeConfig:
+        return self._config
+
+    @property
+    def registry(self) -> BackendRegistry:
+        return self._registry
+
+    def plan(
+        self, workload: Workload, backend: Optional[str] = None
+    ) -> ExecutionPlan:
+        """Route one workload; forced ``backend`` always wins."""
+        decision = plan(workload, self._config, backend)
+        # Surface capability mismatches at plan time, not mid-dispatch.
+        self._registry.get(decision.backend).require(workload.kind)
+        self._stats.record_plan(decision.forced)
+        return decision
+
+    # -- per-tree sessions -------------------------------------------------
+
+    def session(
+        self,
+        tree: TreeSource,
+        settle_band: float = 0.1,
+        *,
+        backend: Optional[str] = None,
+        kind: Optional[str] = None,
+        edits_expected: int = 0,
+    ) -> Session:
+        """Open per-tree state on the backend the planner picks.
+
+        ``kind`` overrides the inferred workload kind (``"edit"`` when
+        ``edits_expected`` is positive, else ``"table"``); pass
+        ``kind="point"`` for one-shot single-node queries so small
+        trees route to the scalar sweep.
+        """
+        size = tree.size if isinstance(tree, RLCTree) else tree.topology.size
+        if kind is None:
+            kind = "edit" if edits_expected > 0 else "table"
+        workload = Workload(
+            kind=kind, tree_size=size, edit_count=edits_expected
+        )
+        decision = self.plan(workload, backend)
+        adapter = self._registry.get(decision.backend)
+        with self._stats.record(decision.backend, kind):
+            state = adapter.open(tree, settle_band, self._config)
+        return Session(self, state, decision)
+
+    # -- bulk dispatch -----------------------------------------------------
+
+    def batch(
+        self,
+        compiled: CompiledTree,
+        rlc: np.ndarray,
+        *,
+        settle_band: float = 0.1,
+        metrics: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
+    ) -> BatchTiming:
+        """Evaluate an ``(S, 3, n)`` value block over one topology."""
+        rlc = np.asarray(rlc)
+        workload = Workload(
+            kind="batch",
+            tree_size=compiled.topology.size,
+            scenarios=int(rlc.shape[0]),
+        )
+        decision = self.plan(workload, backend)
+        adapter = self._registry.get(decision.backend)
+        with self._stats.record(decision.backend, "batch"):
+            return adapter.batch(
+                compiled, rlc, settle_band, metrics, self._config
+            )
+
+    def analyze_many(
+        self,
+        trees: Sequence[TreeSource],
+        *,
+        settle_band: float = 0.1,
+        metrics: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
+    ) -> List[Union[TimingTable, ShardError]]:
+        """Evaluate independent trees; one result per input, in order."""
+        trees = list(trees)
+        sizes = [
+            t.size if isinstance(t, RLCTree) else t.topology.size
+            for t in trees
+        ]
+        workload = Workload(
+            kind="many",
+            tree_size=max(sizes, default=0),
+            tree_count=len(trees),
+        )
+        decision = self.plan(workload, backend)
+        adapter = self._registry.get(decision.backend)
+        with self._stats.record(decision.backend, "many"):
+            return adapter.many(trees, settle_band, metrics, self._config)
+
+    # -- instrumentation ---------------------------------------------------
+
+    def track(self, backend: str, kind: str):
+        """Count and time engine work driven outside the dispatch methods.
+
+        For app code that calls engine primitives directly (vectorized
+        DP kernels, hand-rolled probe loops) but should still show up
+        in :meth:`stats` — use as ``with context.track("compiled",
+        "batch"): ...``.
+        """
+        self._registry.get(backend)  # validate the name
+        return self._stats.record(backend, kind)
+
+    def stats(self) -> dict:
+        """The one instrumentation snapshot (see :class:`RuntimeStats`)."""
+        return self._stats.snapshot()
+
+    def reset_stats(self) -> None:
+        self._stats.reset()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear down pool workers and release shared-memory blocks.
+
+        Idempotent. The dispatch pool is process-global, so closing a
+        context also closes the pool for sibling contexts — they will
+        lazily respawn it. Long-lived services should keep one context
+        open rather than wrapping every call.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        from ..engine import shutdown_pool
+        from ..engine.dispatch import _live_blocks
+
+        shutdown_pool()
+        for block in list(_live_blocks):
+            block.close()
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Teardown runs on exceptions too: the pool/SharedBlock leak
+        # fix for error paths through analyze_many and friends.
+        self.close()
+
+
+_default_context: Optional[ExecutionContext] = None
+
+
+def default_context() -> ExecutionContext:
+    """The process-wide context used when callers pass none.
+
+    Lazily created; never closed automatically (the dispatch layer's
+    own ``atexit`` hooks release the pool and shared memory at process
+    exit).
+    """
+    global _default_context
+    if _default_context is None or _default_context.closed:
+        _default_context = ExecutionContext()
+    return _default_context
+
+
+def set_default_context(context: ExecutionContext) -> None:
+    global _default_context
+    _default_context = context
+
+
+def reset_default_context() -> None:
+    """Drop the process default (a fresh one is created on next use)."""
+    global _default_context
+    _default_context = None
+
+
+def resolve_context(
+    context: Optional[ExecutionContext] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> ExecutionContext:
+    """The context an app entry point should use.
+
+    An explicit ``context`` wins; an explicit ``config`` gets its own
+    (unclosed) context so the override cannot leak into the shared
+    default; otherwise the process default is returned.
+    """
+    if context is not None:
+        if config is not None:
+            raise_config_conflict()
+        return context
+    if config is not None:
+        return ExecutionContext(config)
+    return default_context()
+
+
+def raise_config_conflict() -> None:
+    from ..errors import ConfigurationError
+
+    raise ConfigurationError(
+        "pass either context= or config=, not both; build the context "
+        "from the config first"
+    )

@@ -1,0 +1,169 @@
+"""Workload-aware backend routing.
+
+The planner is the "model the cost, then dispatch" step: a
+:class:`Workload` describes *what* is being asked (one point query? an
+``(S, n)`` scenario batch? an edit stream?), :func:`plan` decides *which
+engine* answers it, and the returned :class:`ExecutionPlan` records why
+— every decision carries its provenance so ``context.stats()`` and the
+CLI can explain a routing choice after the fact.
+
+Routing rules (first match wins), with the boundaries taken from
+:class:`~repro.runtime.config.RuntimeConfig`:
+
+========  ============================================  ===========
+kind      condition                                     backend
+========  ============================================  ===========
+any       ``backend=`` forced (call or config)          as forced
+edit      always (delta updates are the whole point)    incremental
+many      ``workers > 1`` and ``tree_count >= 2``       sharded
+many      otherwise                                     compiled
+batch     ``workers > 1`` and ``cells >= min_cells``    sharded
+batch     otherwise                                     compiled
+table     always (one vectorized pass)                  compiled
+point     ``tree_size <= point_scalar_max``             scalar
+point     otherwise                                     compiled
+========  ============================================  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from .config import RuntimeConfig
+
+__all__ = ["WORKLOAD_KINDS", "Workload", "ExecutionPlan", "plan"]
+
+#: The five workload shapes the runtime routes.
+WORKLOAD_KINDS: Tuple[str, ...] = ("point", "table", "batch", "edit", "many")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One unit of work, described by shape rather than by API call.
+
+    ``kind`` is one of :data:`WORKLOAD_KINDS`: ``"point"`` (one metric
+    at one node), ``"table"`` (every metric at every node of one tree),
+    ``"batch"`` (``scenarios`` value-rows over one topology),
+    ``"edit"`` (a stream of element edits interleaved with queries) and
+    ``"many"`` (independent, possibly heterogeneous trees).
+    """
+
+    kind: str
+    tree_size: int = 0
+    scenarios: int = 0
+    edit_count: int = 0
+    tree_count: int = 1
+
+    def __post_init__(self):
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}; choose from "
+                f"{WORKLOAD_KINDS}"
+            )
+
+    @property
+    def cells(self) -> int:
+        """Total kernel lanes of a batch: scenarios x nodes."""
+        return self.scenarios * self.tree_size
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A routing decision plus its provenance."""
+
+    backend: str
+    workload: Workload
+    forced: bool
+    reasons: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        tag = "forced" if self.forced else "auto"
+        return (
+            f"{self.workload.kind} -> {self.backend} [{tag}] "
+            f"({'; '.join(self.reasons)})"
+        )
+
+
+def plan(
+    workload: Workload,
+    config: Optional[RuntimeConfig] = None,
+    backend: Optional[str] = None,
+) -> ExecutionPlan:
+    """Pick a backend for ``workload`` and say why.
+
+    ``backend`` (per-call) beats ``config.backend`` beats the
+    size/batch/edit-count heuristics; a forced backend always wins and
+    is recorded as such in the provenance.
+    """
+    config = config or RuntimeConfig()
+    forced = backend or config.backend
+    if forced is not None:
+        origin = "call" if backend else "config"
+        # Validate through RuntimeConfig's name check.
+        config.with_backend(forced)
+        return ExecutionPlan(
+            backend=forced,
+            workload=workload,
+            forced=True,
+            reasons=(f"backend {forced!r} forced by {origin}",),
+        )
+
+    reasons = []
+    if workload.kind == "edit":
+        chosen = "incremental"
+        reasons.append(
+            f"edit stream ({workload.edit_count or 'unbounded'} edits) "
+            "-> delta updates"
+        )
+    elif workload.kind == "many":
+        if config.parallel and workload.tree_count >= 2:
+            chosen = "sharded"
+            reasons.append(
+                f"{workload.tree_count} trees with workers="
+                f"{config.workers} -> pool dispatch"
+            )
+        else:
+            chosen = "compiled"
+            reasons.append(
+                f"{workload.tree_count} tree(s) in-process "
+                f"(workers={config.workers}) -> serial vectorized"
+            )
+    elif workload.kind == "batch":
+        if config.parallel and workload.cells >= config.sharded_min_cells:
+            chosen = "sharded"
+            reasons.append(
+                f"{workload.cells} cells >= sharded_min_cells="
+                f"{config.sharded_min_cells} with workers="
+                f"{config.workers} -> pool dispatch"
+            )
+        else:
+            chosen = "compiled"
+            reasons.append(
+                f"{workload.cells} cells below sharded_min_cells="
+                f"{config.sharded_min_cells} or workers<=1 "
+                "-> in-process vectorized"
+            )
+    elif workload.kind == "table":
+        chosen = "compiled"
+        reasons.append("full table -> one vectorized pass")
+    else:  # point
+        if workload.tree_size <= config.point_scalar_max:
+            chosen = "scalar"
+            reasons.append(
+                f"{workload.tree_size} nodes <= point_scalar_max="
+                f"{config.point_scalar_max} -> dict sweep"
+            )
+        else:
+            chosen = "compiled"
+            reasons.append(
+                f"{workload.tree_size} nodes > point_scalar_max="
+                f"{config.point_scalar_max} -> compiled table"
+            )
+    return ExecutionPlan(
+        backend=chosen,
+        workload=workload,
+        forced=False,
+        reasons=tuple(reasons),
+    )

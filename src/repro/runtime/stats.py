@@ -1,0 +1,80 @@
+"""The one instrumentation surface of the execution runtime.
+
+:class:`RuntimeStats` aggregates everything a production operator wants
+from one place: per-backend dispatch counts, per-workload-kind wall
+clock, plan provenance tallies, the engine-layer cache counters
+(topology LRU, incremental engine) and the dispatch pool's state.
+``ExecutionContext.stats()`` returns its snapshot; the CLI prints it
+under ``--debug``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+__all__ = ["RuntimeStats"]
+
+
+class RuntimeStats:
+    """Mutable counters for one :class:`ExecutionContext`."""
+
+    def __init__(self):
+        self._dispatch: Dict[str, int] = {}
+        self._workloads: Dict[str, int] = {}
+        self._phase_seconds: Dict[str, float] = {}
+        self._plans = {"auto": 0, "forced": 0}
+        self._pool_dispatches = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_plan(self, forced: bool) -> None:
+        self._plans["forced" if forced else "auto"] += 1
+
+    @contextmanager
+    def record(self, backend: str, kind: str):
+        """Count one dispatch and time it into the kind's phase bucket."""
+        self._dispatch[backend] = self._dispatch.get(backend, 0) + 1
+        self._workloads[kind] = self._workloads.get(kind, 0) + 1
+        if backend == "sharded":
+            self._pool_dispatches += 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phase_seconds[kind] = (
+                self._phase_seconds.get(kind, 0.0) + elapsed
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Everything, as one nested plain-dict (safe to json-dump).
+
+        Keys: ``"dispatch"`` (per-backend call counts), ``"workloads"``
+        (per-kind call counts), ``"phases"`` (per-kind wall-clock
+        seconds), ``"plans"`` (auto vs forced decisions), ``"caches"``
+        (the engine layer's :func:`~repro.engine.cache_info` groups) and
+        ``"pool"`` (worker pool size, sharded dispatches through this
+        context, live shared-memory blocks process-wide).
+        """
+        from ..engine import cache_info
+        from ..engine.dispatch import _live_blocks, pool_size
+
+        return {
+            "dispatch": dict(self._dispatch),
+            "workloads": dict(self._workloads),
+            "phases": dict(self._phase_seconds),
+            "plans": dict(self._plans),
+            "caches": cache_info(),
+            "pool": {
+                "workers": pool_size(),
+                "sharded_dispatches": self._pool_dispatches,
+                "live_blocks": len(_live_blocks),
+            },
+        }
+
+    def reset(self) -> None:
+        self.__init__()

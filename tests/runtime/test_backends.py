@@ -1,0 +1,158 @@
+"""The backend registry and cross-backend result equivalence.
+
+The acceptance bar for routing: every backend answers every metric with
+**bitwise-identical** values on in-domain trees, so the planner's choice
+is purely a cost decision. These tests pin that equivalence on the
+paper's Fig. 5 tree, for sessions and for batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import compile_tree
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    BACKEND_NAMES,
+    BackendRegistry,
+    ExecutionContext,
+    ScalarBackend,
+    default_registry,
+)
+
+METRICS = (
+    "delay_50",
+    "rise_time",
+    "overshoot",
+    "settling",
+    "t_rc",
+    "t_lc",
+    "zeta",
+    "omega_n",
+    "elmore_delay",
+)
+
+
+class TestRegistry:
+    def test_default_registry_holds_the_four(self):
+        registry = default_registry()
+        assert registry.names() == BACKEND_NAMES
+        for name in BACKEND_NAMES:
+            assert name in registry
+            assert registry.get(name).name == name
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            default_registry().get("turbo")
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry.with_defaults()
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register(ScalarBackend())
+        registry.register(ScalarBackend(), replace=True)  # explicit wins
+
+    def test_capability_surface(self):
+        registry = default_registry()
+        assert registry.get("scalar").supports("point")
+        assert not registry.get("scalar").supports("batch")
+        assert registry.get("incremental").supports("edit")
+        assert not registry.get("incremental").supports("many")
+        with pytest.raises(ConfigurationError, match="does not support"):
+            registry.get("scalar").require("batch")
+
+    def test_plan_surfaces_capability_mismatch(self, fig5):
+        context = ExecutionContext()
+        compiled = compile_tree(fig5)
+        block = np.stack(
+            [compiled.resistance, compiled.inductance, compiled.capacitance]
+        )[None]
+        with pytest.raises(ConfigurationError, match="does not support"):
+            context.batch(compiled, block, backend="scalar")
+
+
+class TestSessionEquivalence:
+    """Auto-routed == every forced backend, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        """Node -> metric -> value from the forced scalar sweep."""
+        from repro.circuit import fig5_tree
+
+        tree = fig5_tree()
+        session = ExecutionContext().session(tree, backend="scalar")
+        return {
+            node: {m: session.value(m, node) for m in METRICS}
+            for node in tree.nodes
+        }
+
+    @pytest.mark.parametrize("backend", [None, *BACKEND_NAMES])
+    def test_bitwise_identical_metrics(self, fig5, reference, backend):
+        session = ExecutionContext().session(fig5, backend=backend)
+        for node, expected in reference.items():
+            for metric, want in expected.items():
+                got = session.value(metric, node)
+                assert got == want, (backend, node, metric)
+
+    def test_compiled_tree_source(self, fig5, reference):
+        compiled = compile_tree(fig5)
+        for backend in ("compiled", "incremental"):
+            session = ExecutionContext().session(compiled, backend=backend)
+            for node, expected in reference.items():
+                got = session.value("delay_50", node)
+                assert got == expected["delay_50"], backend
+
+    def test_scalar_needs_a_tree(self, fig5):
+        with pytest.raises(ConfigurationError, match="RLCTree"):
+            ExecutionContext().session(
+                compile_tree(fig5), backend="scalar"
+            )
+
+    def test_timing_and_report_agree(self, fig5):
+        context = ExecutionContext()
+        rows = {
+            backend: context.session(fig5, backend=backend).report()
+            for backend in ("scalar", "compiled", "incremental")
+        }
+        for a, b in zip(rows["scalar"], rows["compiled"]):
+            assert a == b
+        for a, b in zip(rows["scalar"], rows["incremental"]):
+            assert a == b
+
+    def test_editor_only_on_incremental(self, fig5):
+        context = ExecutionContext()
+        session = context.session(fig5, backend="incremental")
+        session.editor()  # live analyzer, no error
+        with pytest.raises(ConfigurationError, match="edit streams"):
+            context.session(fig5, backend="compiled").editor()
+
+
+class TestBatchEquivalence:
+    def test_forced_backends_match_bitwise(self, fig5, rng):
+        compiled = compile_tree(fig5)
+        nominal = np.stack(
+            [compiled.resistance, compiled.inductance, compiled.capacitance]
+        )
+        factors = rng.uniform(0.5, 2.0, size=(20, 3, compiled.size))
+        block = factors * nominal
+
+        context = ExecutionContext()
+        auto = context.batch(compiled, block, metrics=("delay_50", "t_rc"))
+        for backend in ("compiled", "sharded"):
+            forced = context.batch(
+                compiled, block, metrics=("delay_50", "t_rc"), backend=backend
+            )
+            for metric in ("delay_50", "t_rc"):
+                for node in compiled.names:
+                    assert np.array_equal(
+                        forced.column(metric, node),
+                        auto.column(metric, node),
+                    ), (backend, metric, node)
+
+    def test_analyze_many_matches_per_tree_sessions(self, fig5, line3):
+        context = ExecutionContext()
+        tables = context.analyze_many([fig5, line3])
+        for tree, table in zip((fig5, line3), tables):
+            session = context.session(tree)
+            for node in tree.nodes:
+                assert table.value("delay_50", node) == session.value(
+                    "delay_50", node
+                )

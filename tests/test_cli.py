@@ -303,3 +303,39 @@ class TestDebugCacheDump:
         )
         assert int(counters["size"]) >= 0
         assert int(counters["misses"]) + int(counters["hits"]) >= 1
+
+
+class TestRuntimeStatsDump:
+    """--debug also reports per-backend dispatch counts from the context."""
+
+    def test_debug_prints_runtime_stats(self, netlist_path, capsys):
+        assert main(["--debug", "analyze", netlist_path]) == 0
+        err = capsys.readouterr().err
+        assert "runtime stats:" in err
+        for group in ("dispatch:", "workloads:", "plans:", "pool:", "phases:"):
+            assert group in err
+        line = next(l for l in err.splitlines() if "dispatch:" in l)
+        assert "compiled=" in line  # whole-table analyze routes to compiled
+
+    def test_forced_backend_counts_as_forced_plan(self, netlist_path, capsys):
+        assert main(
+            ["--debug", "analyze", netlist_path, "--backend", "scalar"]
+        ) == 0
+        err = capsys.readouterr().err
+        dispatch = next(l for l in err.splitlines() if "dispatch:" in l)
+        plans = next(l for l in err.splitlines() if "plans:" in l)
+        assert "scalar=" in dispatch
+        assert "forced=1" in plans
+
+    def test_backend_choice_never_changes_results(self, netlist_path, capsys):
+        assert main(["analyze", netlist_path, "--csv"]) == 0
+        auto = capsys.readouterr().out
+        for backend in ("scalar", "compiled", "incremental"):
+            assert main(
+                ["analyze", netlist_path, "--csv", "--backend", backend]
+            ) == 0
+            assert capsys.readouterr().out == auto
+
+    def test_unknown_backend_rejected_by_argparse(self, netlist_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", netlist_path, "--backend", "turbo"])

@@ -1,0 +1,52 @@
+"""Static hygiene gates: ruff (when installed) and repo cleanliness.
+
+The ruff gate carries the ``lint`` marker so CI can run it in its own
+session (``pytest -m lint``) alongside ``-m perf``; in environments
+without ruff on PATH it skips rather than fails, keeping the tier-1
+suite self-contained.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.lint
+def test_ruff_check_clean():
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        pytest.skip("ruff is not installed in this environment")
+    result = subprocess.run(
+        [ruff, "check", "."],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_no_bytecode_tracked():
+    result = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        pytest.skip("not a git checkout")
+    offenders = [
+        line
+        for line in result.stdout.splitlines()
+        if line.endswith(".pyc") or "__pycache__" in line
+    ]
+    assert offenders == []
+
+
+def test_gitignore_covers_bytecode():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore
+    assert "*.py[cod]" in gitignore
