@@ -1,0 +1,196 @@
+"""Supervision overhead and recovery latency of the fault-tolerant pool.
+
+Two numbers justify leaving supervision armed by default. First, the
+fault-free tax: per-shard deadlines and the retry bookkeeping must cost
+under 3% against the same sharded dispatch with the deadline disarmed
+(min-of-N so scheduler noise does not decide the gate). Second, the
+recovery bill: one injected worker kill mid-batch must finish with
+bitwise-identical metrics, paying only a bounded pool-rebuild latency.
+
+The ``perf``-marked test is the CI quick gate; the unmarked report test
+regenerates ``BENCH_resilience.json`` at the repository root. Run with::
+
+    pytest benchmarks/bench_resilience.py -m perf -s        # quick gate
+    pytest benchmarks/bench_resilience.py -m "not perf" -s  # full report
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuit import random_tree
+from repro.engine import (
+    analyze_many,
+    reset_dispatch_telemetry,
+    shutdown_pool,
+)
+from repro.engine.dispatch import SupervisionPolicy, shared_memory_available
+from repro.robustness import ProcessFault, ProcessFaultPlan
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on platform"
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_RESILIENCE_PATH = REPO_ROOT / "BENCH_resilience.json"
+
+#: Fault-free overhead budget for armed deadlines + retry bookkeeping.
+OVERHEAD_BUDGET = 0.03
+#: Absolute floor so sub-100ms workloads don't turn noise into failures.
+OVERHEAD_FLOOR_S = 0.010
+#: One kill -> detect + rebuild + re-dispatch must fit well inside this.
+RECOVERY_BUDGET_S = 15.0
+
+ARMED = SupervisionPolicy(shard_timeout=60.0, max_retries=2, backoff=0.01)
+DISARMED = SupervisionPolicy(shard_timeout=None, max_retries=2, backoff=0.01)
+
+
+def _workload(trees=24, sections=200):
+    rng = np.random.default_rng(1234)
+    return [random_tree(sections, rng) for _ in range(trees)]
+
+
+def _time_dispatch(trees, policy, repeats, fault_plan=None):
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        reset_dispatch_telemetry()
+        start = time.perf_counter()
+        results = analyze_many(
+            trees, workers=2, supervision=policy, fault_plan=fault_plan
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, results
+
+
+def _max_drift(reference, results):
+    worst = 0.0
+    for ref, got in zip(reference, results):
+        a, b = ref.metrics.delay_50, got.metrics.delay_50
+        mask = np.isfinite(a) & np.isfinite(b)
+        if mask.any():
+            worst = max(worst, float(np.abs(a[mask] - b[mask]).max()))
+        assert np.array_equal(np.isfinite(a), np.isfinite(b))
+    return worst
+
+
+def run_resilience(quick=True):
+    trees = _workload(trees=12 if quick else 24, sections=150 if quick else 300)
+    repeats = 3 if quick else 5
+    shutdown_pool()
+    try:
+        reference = analyze_many(trees, workers=1)
+
+        # Warm the pool + topology caches outside the timed region, then
+        # the fault-free A/B: armed deadlines vs no deadline at all.
+        analyze_many(trees, workers=2, supervision=DISARMED)
+        disarmed_s, _ = _time_dispatch(trees, DISARMED, repeats)
+        armed_s, armed_results = _time_dispatch(trees, ARMED, repeats)
+        overhead = (armed_s - disarmed_s) / disarmed_s
+
+        # Recovery: one worker killed mid-run, armed policy, same answer.
+        plan = ProcessFaultPlan({1: ProcessFault("crash")})
+        faulted_s, faulted_results = _time_dispatch(
+            trees, ARMED, 1, fault_plan=plan
+        )
+        from repro.engine import dispatch_telemetry
+
+        telemetry = dispatch_telemetry()
+    finally:
+        shutdown_pool()
+        reset_dispatch_telemetry()
+
+    return {
+        "mode": "quick" if quick else "full",
+        "trees": len(trees),
+        "sections": len(trees[0].nodes),
+        "repeats": repeats,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "recovery_budget_s": RECOVERY_BUDGET_S,
+        "fault_free": {
+            "disarmed_s": disarmed_s,
+            "armed_s": armed_s,
+            "overhead_frac": overhead,
+            "overhead_abs_s": armed_s - disarmed_s,
+            "max_abs_drift": _max_drift(reference, armed_results),
+        },
+        "recovery": {
+            "faulted_s": faulted_s,
+            "recovery_latency_s": faulted_s - armed_s,
+            "max_abs_drift": _max_drift(reference, faulted_results),
+            "rebuilds": telemetry["rebuilds"],
+            "retries": telemetry["retries"],
+            "worker_deaths": telemetry["worker_deaths"],
+        },
+    }
+
+
+def check_resilience(results):
+    failures = []
+    fault_free = results["fault_free"]
+    over_frac = fault_free["overhead_frac"] > OVERHEAD_BUDGET
+    over_floor = fault_free["overhead_abs_s"] > OVERHEAD_FLOOR_S
+    if over_frac and over_floor:
+        failures.append(
+            f"fault-free supervision overhead "
+            f"{fault_free['overhead_frac']:.1%} exceeds "
+            f"{OVERHEAD_BUDGET:.0%} budget "
+            f"({fault_free['armed_s']:.4f}s vs {fault_free['disarmed_s']:.4f}s)"
+        )
+    if fault_free["max_abs_drift"] != 0.0:
+        failures.append(
+            f"fault-free drift {fault_free['max_abs_drift']!r} != 0"
+        )
+    recovery = results["recovery"]
+    if recovery["max_abs_drift"] != 0.0:
+        failures.append(f"post-recovery drift {recovery['max_abs_drift']!r} != 0")
+    if recovery["faulted_s"] > RECOVERY_BUDGET_S:
+        failures.append(
+            f"recovery took {recovery['faulted_s']:.2f}s "
+            f"(> {RECOVERY_BUDGET_S}s budget)"
+        )
+    if recovery["rebuilds"] < 1 or recovery["worker_deaths"] < 1:
+        failures.append(
+            "injected kill left no rebuild/worker-death telemetry: "
+            f"{recovery!r}"
+        )
+    return failures
+
+
+@pytest.mark.perf
+def test_resilience_quick(tmp_path):
+    """CI gate: bounded overhead when healthy, bounded bill when not."""
+    results = run_resilience(quick=True)
+    (tmp_path / "BENCH_resilience.json").write_text(
+        json.dumps(results, indent=2)
+    )
+    failures = check_resilience(results)
+    assert not failures, failures
+
+
+def test_resilience_report(report):
+    """Full-scale run; writes BENCH_resilience.json at the repo root."""
+    results = run_resilience(quick=False)
+    RESULT_RESILIENCE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    fault_free, recovery = results["fault_free"], results["recovery"]
+    report.table(
+        ("path", "best_s", "drift"),
+        [
+            ("sharded, no deadline", fault_free["disarmed_s"], 0.0),
+            ("sharded, supervised", fault_free["armed_s"],
+             fault_free["max_abs_drift"]),
+            ("supervised + 1 kill", recovery["faulted_s"],
+             recovery["max_abs_drift"]),
+        ],
+    )
+    report.line(
+        f"overhead {fault_free['overhead_frac']:+.1%} "
+        f"(budget {OVERHEAD_BUDGET:.0%}), recovery latency "
+        f"{recovery['recovery_latency_s']:.3f}s over the fault-free run "
+        f"({recovery['rebuilds']} rebuild(s), "
+        f"{recovery['retries']} retrie(s))"
+    )
+    assert not check_resilience(results)

@@ -54,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
         "and dump the engine cache/counter statistics to stderr after "
         "the command",
     )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per shard of a supervised multi-process "
+        "dispatch; 0 or negative disables the deadline "
+        "(default: the runtime's 30s)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-dispatch attempts for a shard whose worker died or "
+        "timed out before degrading to serial in-process evaluation "
+        "(default: 2)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser(
@@ -353,10 +365,17 @@ def _print_cache_info(runtime: ExecutionContext) -> None:
         print(f"  {group}: {body}", file=sys.stderr)
     stats = runtime.stats()
     print("runtime stats:", file=sys.stderr)
-    for group in ("dispatch", "workloads", "plans", "pool"):
+    for group in ("dispatch", "workloads", "plans", "pool", "supervision"):
         counters = stats[group]
         body = ", ".join(f"{key}={value}" for key, value in counters.items())
         print(f"  {group}: {body}", file=sys.stderr)
+    for backend, state in stats["breakers"].items():
+        print(
+            f"  breaker[{backend}]: state={state['state']}, "
+            f"consecutive_failures={state['consecutive_failures']}, "
+            f"transitions={len(state['transitions'])}",
+            file=sys.stderr,
+        )
     phases = ", ".join(
         f"{name}={seconds:.6f}s" for name, seconds in stats["phases"].items()
     )
@@ -377,7 +396,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    config = RuntimeConfig(backend=getattr(args, "backend", None))
+    overrides = {}
+    if args.shard_timeout is not None:
+        overrides["shard_timeout"] = (
+            args.shard_timeout if args.shard_timeout > 0 else None
+        )
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
+    config = RuntimeConfig(
+        backend=getattr(args, "backend", None), **overrides
+    )
     try:
         with ExecutionContext(config) as runtime:
             args.runtime = runtime

@@ -28,7 +28,11 @@ kernels:
   (``compile once, ship CompiledTree + value blocks`` over
   ``multiprocessing`` with shared-memory value matrices), with
   per-shard structured error capture and bitwise-identical results
-  versus the in-process engine.
+  versus the in-process engine. Multi-worker dispatches are
+  *supervised*: per-shard wall-clock deadlines, bounded retry with
+  automatic pool rebuild on worker death, and serial in-process
+  fallback when retries are exhausted, so a crashed or hung worker can
+  never hang the call or change the numbers.
 
 The engine is an accelerator, not a second implementation of the
 physics: its kernels mirror the scalar formulas of
@@ -48,7 +52,13 @@ from .compiled import (
     topology_fingerprint,
     topology_key,
 )
-from .dispatch import dispatch_pool
+from .dispatch import (
+    SupervisionPolicy,
+    dispatch_pool,
+    dispatch_telemetry,
+    pool_health,
+    reset_dispatch_telemetry,
+)
 from .incremental import (
     EditSession,
     IncrementalAnalyzer,
@@ -116,6 +126,10 @@ __all__ = [
     "analyze_batch_sharded",
     "shutdown_pool",
     "dispatch_pool",
+    "SupervisionPolicy",
+    "pool_health",
+    "dispatch_telemetry",
+    "reset_dispatch_telemetry",
     "IncrementalAnalyzer",
     "EditSession",
     "segment_delays",

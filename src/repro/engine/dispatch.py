@@ -1,4 +1,4 @@
-"""Work units, shared-memory blocks and the worker pool for sharding.
+"""Work units, shared-memory blocks and the supervised worker pool.
 
 This is the transport half of the sharded dispatch protocol
 (:mod:`repro.engine.sharded` is the policy half). The protocol is
@@ -22,10 +22,35 @@ This is the transport half of the sharded dispatch protocol
 Worker task functions never raise: every unit evaluates to
 ``(index, "ok", metric payload)`` or ``(index, "err", failure
 description)``, so one poisoned unit can never take down the map call
-that carries its siblings. The pool itself is a lazily-created,
-process-global ``multiprocessing`` pool (fork where available, spawn
-otherwise), reused across dispatches so worker caches stay warm, and
-torn down at interpreter exit.
+that carries its siblings.
+
+The pool itself is a lazily-created, process-global
+:class:`concurrent.futures.ProcessPoolExecutor` (fork where available,
+spawn otherwise), reused across dispatches so worker caches stay warm,
+and torn down at interpreter exit. On top of it sits the *supervision*
+layer, :func:`run_supervised`, which extends the per-unit error capture
+across the process boundary:
+
+* every shard gets a wall-clock deadline (``future.result(timeout=…)``
+  measured from its own submission);
+* a worker that **crashes** (``BrokenProcessPool``) or **hangs** (shard
+  timeout) triggers an automatic pool rebuild — hung workers are
+  killed, fresh ones respawn, per-worker topology caches re-seed from
+  the shipped payloads, and parent-owned shared-memory blocks survive
+  untouched because workers re-attach by name on every task;
+* failed shards are re-dispatched with bounded exponential backoff, and
+  a shard that exhausts its retries degrades to a **serial in-process
+  evaluation** of the same unit code path, so the assembled result is
+  still bitwise identical to the serial engine;
+* every incident is counted in the module telemetry
+  (:func:`dispatch_telemetry`) — timeouts, retries, rebuilds, worker
+  deaths, serial fallbacks and per-worker failure tallies — which the
+  runtime layer folds into ``context.stats()`` and uses to trip the
+  per-backend circuit breaker.
+
+:func:`pool_health` is the live-probe companion: worker liveness from
+the process table plus an optional round-trip heartbeat through the
+pool.
 """
 
 from __future__ import annotations
@@ -36,14 +61,17 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import traceback
 import weakref
-from dataclasses import dataclass, field
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from .compiled import (
     CompiledTopology,
     CompiledTree,
@@ -69,15 +97,122 @@ __all__ = [
     "SharedBlock",
     "TreeUnit",
     "BatchShard",
+    "SupervisionPolicy",
     "run_tree_unit",
     "run_batch_shard",
+    "run_supervised",
     "get_pool",
+    "rebuild_pool",
     "dispatch_pool",
     "shutdown_pool",
     "pool_size",
+    "pool_generation",
+    "pool_health",
     "worker_cache_infos",
+    "dispatch_telemetry",
+    "reset_dispatch_telemetry",
     "shared_memory_available",
 ]
+
+#: Default per-shard wall-clock budget (seconds) when the caller does
+#: not configure one. ``None`` disables the deadline entirely.
+DEFAULT_SHARD_TIMEOUT = 60.0
+
+
+# -- supervision policy ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """The fault-handling knobs of one supervised dispatch call.
+
+    ``shard_timeout`` is each shard's wall-clock budget measured from
+    its own submission (``None`` waits forever — crash detection still
+    works, hang detection does not). ``max_retries`` bounds how many
+    times one shard is re-dispatched after a timeout or worker death;
+    between rounds the supervisor sleeps ``backoff * 2**round`` seconds
+    (capped at 2 s). A shard that exhausts its retries is evaluated
+    serially in the parent when ``serial_fallback`` is set (the default
+    — results stay bitwise identical to the serial engine), or reported
+    as a structured ``"err"`` outcome when it is not.
+    """
+
+    shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
+    max_retries: int = 2
+    backoff: float = 0.05
+    serial_fallback: bool = True
+
+    def __post_init__(self):
+        if self.shard_timeout is not None and not self.shard_timeout > 0:
+            raise ConfigurationError(
+                f"shard_timeout must be positive or None, got "
+                f"{self.shard_timeout!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries!r}"
+            )
+        if self.backoff < 0:
+            raise ConfigurationError(
+                f"backoff must be non-negative, got {self.backoff!r}"
+            )
+
+
+# -- failure telemetry -------------------------------------------------------
+
+_telemetry_lock = threading.Lock()
+
+
+def _fresh_telemetry() -> Dict[str, Any]:
+    return {
+        "timeouts": 0,
+        "retries": 0,
+        "rebuilds": 0,
+        "worker_deaths": 0,
+        "serial_fallbacks": 0,
+        "exhausted": 0,
+        "worker_failures": {},
+    }
+
+
+_telemetry: Dict[str, Any] = _fresh_telemetry()
+
+
+def _note(key: str, count: int = 1) -> None:
+    with _telemetry_lock:
+        _telemetry[key] += count
+
+
+def _note_worker_failure(pid: Optional[int]) -> None:
+    if pid is None:
+        return
+    with _telemetry_lock:
+        failures = _telemetry["worker_failures"]
+        failures[pid] = failures.get(pid, 0) + 1
+
+
+def dispatch_telemetry() -> Dict[str, Any]:
+    """A snapshot of the process-wide supervision counters.
+
+    Keys: ``timeouts`` (shards that blew their deadline), ``retries``
+    (shard re-dispatches), ``rebuilds`` (pool teardown+respawn cycles),
+    ``worker_deaths`` (``BrokenProcessPool`` incidents),
+    ``serial_fallbacks`` (shards that exhausted retries and ran in the
+    parent), ``exhausted`` (shards that exhausted retries with serial
+    fallback disabled) and ``worker_failures`` (pid → failure count for
+    workers observed dead at rebuild time).
+    """
+    with _telemetry_lock:
+        snapshot = dict(_telemetry)
+        snapshot["worker_failures"] = dict(snapshot["worker_failures"])
+    return snapshot
+
+
+def reset_dispatch_telemetry() -> None:
+    """Zero the supervision counters (test isolation)."""
+    global _telemetry
+    with _telemetry_lock:
+        _telemetry = _fresh_telemetry()
 
 
 # -- shared-memory value blocks --------------------------------------------
@@ -112,6 +247,11 @@ class SharedBlock:
     :meth:`close` (which also unlinks) once every consumer is done —
     most simply by using the block as a context manager. Blocks left
     open are unlinked by the interpreter-exit hook as a last resort.
+
+    The segment's lifetime is tied to this object, never to the pool:
+    workers attach by name on every task, so a pool rebuild in the
+    middle of a supervised dispatch does not invalidate the block — the
+    fresh workers simply re-attach.
     """
 
     def __init__(self, array: np.ndarray):
@@ -186,7 +326,14 @@ def _resolve_topology(key: Tuple, payload: bytes) -> CompiledTopology:
 
 @dataclass(frozen=True)
 class TreeUnit:
-    """One tree of an :func:`~repro.engine.sharded.analyze_many` call."""
+    """One tree of an :func:`~repro.engine.sharded.analyze_many` call.
+
+    ``attempt`` is stamped by the supervisor on every (re-)dispatch so
+    failure descriptions can say which try failed; ``fault`` carries an
+    optional process-level fault spec (duck-typed, see
+    :class:`repro.robustness.faults.ProcessFault`) applied by the
+    worker-side hook — never in the parent.
+    """
 
     index: int
     key: Tuple
@@ -197,6 +344,8 @@ class TreeUnit:
     settle_band: float
     select: Optional[Tuple[str, ...]]
     check_domain: bool = True
+    attempt: int = 0
+    fault: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -207,8 +356,12 @@ class BatchShard:
     shared block (the worker reads rows ``start:stop``) or the shard's
     own ``(stop - start, 3, n)`` slice shipped inline when shared memory
     is unavailable or the dispatch runs serially. ``inject`` names a
-    fault to raise instead of evaluating — the hook the robustness
-    fault-injection suite uses to exercise per-shard error capture.
+    value-level fault to raise instead of evaluating — the hook the
+    robustness fault-injection suite uses to exercise per-shard error
+    capture. ``fault`` is the *process-level* counterpart (crash, hang,
+    delay; see :class:`repro.robustness.faults.ProcessFault`), applied
+    only inside pool workers; ``attempt`` is stamped by the supervisor
+    on every (re-)dispatch.
     """
 
     index: int
@@ -220,6 +373,8 @@ class BatchShard:
     settle_band: float
     select: Optional[Tuple[str, ...]]
     inject: Optional[str] = None
+    attempt: int = 0
+    fault: Optional[Any] = None
 
 
 def _metric_payload(metrics: MetricArrays) -> Dict[str, Optional[np.ndarray]]:
@@ -227,17 +382,66 @@ def _metric_payload(metrics: MetricArrays) -> Dict[str, Optional[np.ndarray]]:
     return {name: getattr(metrics, name) for name in METRIC_NAMES}
 
 
-def _describe_failure(exc: BaseException) -> Dict[str, str]:
+def _describe_failure(
+    exc: BaseException, *, attempt: int = 0, elapsed: float = 0.0
+) -> Dict[str, Any]:
+    """The structured failure record a worker sends home.
+
+    Carries enough provenance — worker pid, attempt number, elapsed
+    wall clock — that a retried-then-failed shard is diagnosable from
+    the resulting :class:`~repro.engine.sharded.ShardError` alone.
+    """
     return {
         "error_type": type(exc).__name__,
         "message": str(exc),
         "traceback": traceback.format_exc(),
+        "pid": os.getpid(),
+        "attempt": attempt,
+        "elapsed_s": elapsed,
     }
+
+
+# -- worker-side process faults ----------------------------------------------
+
+#: True only inside pool workers (set by the initializer). The
+#: process-fault hook keys on it so an injected crash/hang can never
+#: fire in the parent — in particular not on the serial-fallback path a
+#: fault-injected shard ends up on after exhausting its retries.
+_IN_WORKER = False
+
+
+def _apply_process_fault(fault: Any, attempt: int) -> None:
+    """Worker-side hook: crash, hang or delay this task deliberately.
+
+    ``fault`` is duck-typed (``kind``, optional ``attempts``,
+    ``seconds`` and ``exit_code`` attributes — canonically a
+    :class:`repro.robustness.faults.ProcessFault`). ``attempts`` bounds
+    how many dispatch attempts the fault affects (``None`` = all), which
+    is what makes the recovery path deterministic: ``attempts=1``
+    crashes the first try and lets the retry succeed.
+    """
+    if fault is None or not _IN_WORKER:
+        return
+    budget = getattr(fault, "attempts", 1)
+    if budget is not None and attempt >= budget:
+        return
+    kind = getattr(fault, "kind", None)
+    seconds = getattr(fault, "seconds", None)
+    if kind == "crash":
+        os._exit(getattr(fault, "exit_code", 17))
+    elif kind == "hang":
+        time.sleep(3600.0 if seconds is None else seconds)
+    elif kind == "delay":
+        time.sleep(0.25 if seconds is None else seconds)
+    else:
+        raise ReproError(f"unknown process fault kind {kind!r}")
 
 
 def run_tree_unit(unit: TreeUnit) -> Tuple[int, str, Dict[str, Any]]:
     """Evaluate one tree unit; never raises."""
+    start = time.perf_counter()
     try:
+        _apply_process_fault(unit.fault, unit.attempt)
         topology = _resolve_topology(unit.key, unit.payload)
         compiled = CompiledTree(
             topology, unit.resistance, unit.inductance, unit.capacitance
@@ -256,13 +460,17 @@ def run_tree_unit(unit: TreeUnit) -> Tuple[int, str, Dict[str, Any]]:
         )
         return unit.index, "ok", _metric_payload(metrics)
     except Exception as exc:
-        return unit.index, "err", _describe_failure(exc)
+        return unit.index, "err", _describe_failure(
+            exc, attempt=unit.attempt, elapsed=time.perf_counter() - start
+        )
 
 
 def run_batch_shard(shard: BatchShard) -> Tuple[int, str, Dict[str, Any]]:
     """Evaluate one scenario shard; never raises."""
     segment = None
+    start = time.perf_counter()
     try:
+        _apply_process_fault(shard.fault, shard.attempt)
         if shard.inject is not None:
             raise ReproError(f"injected shard fault: {shard.inject}")
         topology = _resolve_topology(shard.key, shard.payload)
@@ -280,7 +488,9 @@ def run_batch_shard(shard: BatchShard) -> Tuple[int, str, Dict[str, Any]]:
         )
         return shard.index, "ok", _metric_payload(metrics)
     except Exception as exc:
-        return shard.index, "err", _describe_failure(exc)
+        return shard.index, "err", _describe_failure(
+            exc, attempt=shard.attempt, elapsed=time.perf_counter() - start
+        )
     finally:
         if segment is not None:
             segment.close()
@@ -288,9 +498,11 @@ def run_batch_shard(shard: BatchShard) -> Tuple[int, str, Dict[str, Any]]:
 
 # -- the worker pool ---------------------------------------------------------
 
-_pool = None
+_pool: Optional[ProcessPoolExecutor] = None
 _pool_workers = 0
 _pool_barrier = None
+_pool_generation = 0
+_pool_scope_depth = 0  # live dispatch_pool() nesting level
 _WORKER_BARRIER = None  # set inside each worker by the initializer
 
 
@@ -299,10 +511,13 @@ def _init_worker(barrier) -> None:
 
     Resetting the cache matters under fork: the child would otherwise
     inherit the parent's cache *counters*, and the pool-wide aggregation
-    would double-count the parent's pre-fork history.
+    would double-count the parent's pre-fork history. ``_IN_WORKER``
+    arms the process-fault hook — only real pool workers ever apply an
+    injected crash/hang.
     """
-    global _WORKER_BARRIER
+    global _WORKER_BARRIER, _IN_WORKER
     _WORKER_BARRIER = barrier
+    _IN_WORKER = True
     clear_topology_cache()
 
 
@@ -315,7 +530,7 @@ def _pool_context():
     return multiprocessing.get_context()  # pragma: no cover
 
 
-def get_pool(workers: int):
+def get_pool(workers: int) -> ProcessPoolExecutor:
     """The shared worker pool, (re)created to hold ``workers`` processes.
 
     The pool persists across dispatch calls so per-process topology
@@ -330,23 +545,105 @@ def get_pool(workers: int):
     shutdown_pool()
     ctx = _pool_context()
     barrier = ctx.Barrier(workers)
-    _pool = ctx.Pool(
-        processes=workers, initializer=_init_worker, initargs=(barrier,)
+    _pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(barrier,),
     )
     _pool_workers = workers
     _pool_barrier = barrier
     return _pool
 
 
+def _pool_processes(pool) -> List:
+    """The executor's worker ``Process`` objects (best effort)."""
+    processes = getattr(pool, "_processes", None)
+    if not processes:
+        return []
+    try:
+        return list(processes.values())
+    except Exception:  # pragma: no cover - executor mid-teardown
+        return []
+
+
+def _process_dead(process) -> bool:
+    """Whether a worker process is dead, robust to concurrent reaping.
+
+    ``Process.is_alive()`` alone is not enough: its ``waitpid`` races
+    the executor's management thread joining the same pid, and losing
+    that race (``ECHILD``) makes ``is_alive()`` report a dead worker as
+    alive forever. A reaped pid no longer exists, so ``os.kill(pid, 0)``
+    settles it either way.
+    """
+    try:
+        if not process.is_alive():
+            return True
+    except Exception:  # pragma: no cover - process mid-teardown
+        return True
+    if process.pid is None:
+        return False
+    try:
+        os.kill(process.pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:  # pragma: no cover - e.g. EPERM: someone is there
+        return False
+    return False
+
+
 def shutdown_pool() -> None:
-    """Tear down the shared pool (no-op when none is running)."""
+    """Tear down the shared pool (no-op when none is running).
+
+    Idempotent and exception-safe: the module globals are cleared
+    *first*, every teardown step is individually shielded, and hung or
+    already-dead workers are killed outright rather than joined — a
+    worker that died mid-terminate can neither mask an original error
+    nor wedge interpreter exit.
+    """
     global _pool, _pool_workers, _pool_barrier
-    if _pool is not None:
-        _pool.terminate()
-        _pool.join()
+    pool = _pool
     _pool = None
     _pool_workers = 0
     _pool_barrier = None
+    if pool is None:
+        return
+    processes = _pool_processes(pool)
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(5.0)
+        except Exception:
+            pass
+
+
+def rebuild_pool(workers: Optional[int] = None) -> Optional[ProcessPoolExecutor]:
+    """Tear the pool down and respawn it with ``workers`` processes.
+
+    The recovery action behind every worker-death or shard-timeout
+    incident: hung workers are killed, fresh ones start with clean
+    topology caches (re-seeded lazily from the payloads the next units
+    carry), and parent-owned shared-memory blocks stay linked — workers
+    re-attach by name. Returns the fresh pool, or ``None`` when no pool
+    was running and no worker count was given.
+    """
+    global _pool_generation
+    if workers is None:
+        workers = _pool_workers
+    shutdown_pool()
+    if workers < 2:
+        return None
+    _pool_generation += 1
+    _note("rebuilds")
+    return get_pool(workers)
 
 
 @contextlib.contextmanager
@@ -362,12 +659,23 @@ def dispatch_pool(workers: int) -> Iterator[Any]:
     a matching ``workers`` count reuse this pool. The ``atexit`` hook
     remains the fallback for pools created outside any such scope, so
     interpreter shutdown never leaks worker processes either way.
+
+    Nesting is legal and reference-counted: the scopes share the one
+    process-global pool, inner exits are no-ops, and only the outermost
+    exit tears the pool down. A supervised dispatch inside the block may
+    transparently rebuild the pool; the rebuilt pool is still torn down
+    on exit.
     """
+    global _pool_scope_depth
     pool = get_pool(workers)
+    _pool_scope_depth += 1
     try:
         yield pool
     finally:
-        shutdown_pool()
+        _pool_scope_depth -= 1
+        if _pool_scope_depth <= 0:
+            _pool_scope_depth = 0
+            shutdown_pool()
 
 
 def _atexit_cleanup() -> None:
@@ -376,10 +684,16 @@ def _atexit_cleanup() -> None:
     Blocks are unlinked *before* the pool is terminated so no worker is
     killed mid-read of a segment that then disappears under a
     still-running sibling; by exit time no dispatch call is in flight,
-    so any surviving block is simply a leak to reclaim.
+    so any surviving block is simply a leak to reclaim. Each close is
+    shielded individually and the pool teardown never raises, so a
+    broken pool cannot prevent the remaining segments from being
+    unlinked.
     """
     for block in list(_live_blocks):
-        block.close()
+        try:
+            block.close()
+        except Exception:  # pragma: no cover - last-resort cleanup
+            pass
     shutdown_pool()
 
 
@@ -391,14 +705,212 @@ def pool_size() -> int:
     return _pool_workers
 
 
-def _worker_cache_info(_index: int) -> Tuple[int, Dict[str, int]]:
-    """One worker's cache counters, synchronized on the pool barrier.
+def pool_generation() -> int:
+    """How many times the pool has been rebuilt after a fault."""
+    return _pool_generation
+
+
+# -- supervised dispatch -----------------------------------------------------
+
+
+def _exhausted_description(attempt: int, reason: str) -> Dict[str, Any]:
+    return {
+        "error_type": "ShardRetryExhausted",
+        "message": (
+            f"shard gave up after {attempt} dispatch attempt(s): {reason}; "
+            "serial fallback disabled"
+        ),
+        "traceback": "",
+        "pid": None,
+        "attempt": attempt,
+        "elapsed_s": 0.0,
+    }
+
+
+def run_supervised(
+    units: Sequence[Any],
+    worker_fn,
+    workers: int,
+    policy: Optional[SupervisionPolicy] = None,
+) -> List[Tuple[int, str, Dict[str, Any]]]:
+    """Run work units through the pool under the supervision policy.
+
+    The contract matches the plain map it replaces — one
+    ``(index, status, body)`` triple per unit, in input order — but the
+    failure domain is wider: worker crashes (``BrokenProcessPool``),
+    hung shards (wall-clock deadline) and pool-creation failures are
+    all absorbed. Recovery actions, in order:
+
+    1. **retry** — a timed-out or crash-orphaned shard is re-dispatched
+       (with exponential backoff) up to ``policy.max_retries`` times;
+       the pool is rebuilt first, so a hung worker cannot poison the
+       retry. Retry budget is only charged to *attributable* failures:
+       a timeout names its shard, but a pool break with several shards
+       in flight names nobody — the next round then runs in quarantine
+       (one shard per slot, rebuilding between failures) so the culprit
+       is charged exactly and innocent bystanders keep their budget;
+    2. **degrade** — a shard that exhausts its retries is evaluated
+       serially in the parent through the same unit code path (bitwise
+       identical), or reported as a structured ``"err"`` outcome when
+       ``policy.serial_fallback`` is off;
+    3. **degrade wholesale** — when no pool can be created at all
+       (sandboxed platforms), everything runs serially, matching the
+       old unsupervised behaviour.
+
+    Value-level failures — a unit whose evaluation raises — are *not*
+    retried: the worker already captured them as deterministic ``"err"``
+    outcomes, and re-running a deterministic failure buys nothing.
+    """
+    if policy is None:
+        policy = SupervisionPolicy()
+    order = [unit.index for unit in units]
+    pending: Dict[int, Any] = {unit.index: unit for unit in units}
+    if len(pending) != len(units):
+        raise ConfigurationError("work unit indices must be unique")
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+    results: Dict[int, Tuple[int, str, Dict[str, Any]]] = {}
+    round_no = 0
+    # A pool break with several shards in flight is unattributable: any
+    # of them may be the culprit, and charging them all lets one bad
+    # shard exhaust innocent bystanders' retry budgets. So such rounds
+    # charge nobody, and the next round runs in quarantine — one shard
+    # per slot — where every failure names its culprit exactly.
+    quarantine = False
+    while pending:
+        try:
+            pool = get_pool(workers)
+        except (OSError, ImportError, PermissionError):
+            # No pool on this platform (or none anymore): in-process.
+            for index in sorted(pending):
+                unit = pending.pop(index)
+                results[index] = worker_fn(
+                    replace(unit, attempt=attempts[index])
+                )
+            break
+        batches: List[List[int]] = (
+            [[index] for index in sorted(pending)]
+            if quarantine and len(pending) > 1
+            else [sorted(pending)]
+        )
+        round_broken = False
+        charged: List[int] = []
+        incident = "timeout"
+        for batch in batches:
+            if pool is None:  # mid-round rebuild failed; retry next round
+                break
+            submitted: Dict[int, Tuple[Optional[Any], float]] = {}
+            # Workers spawn lazily on the first submit, and a broken
+            # executor clears its process table the moment the
+            # management thread notices — so snapshot after *every*
+            # submit, before any crash can land, or there is nothing to
+            # attribute failures to.
+            batch_processes: Dict[int, Any] = {}
+            for index in batch:
+                unit = replace(pending[index], attempt=attempts[index])
+                try:
+                    future = pool.submit(worker_fn, unit)
+                except Exception:
+                    # Executor already broken: the shard goes through
+                    # the rebuild-and-retry path below.
+                    submitted[index] = (None, time.monotonic())
+                    continue
+                submitted[index] = (future, time.monotonic())
+                for process in _pool_processes(pool):
+                    batch_processes.setdefault(process.pid, process)
+            batch_broken = any(f is None for f, _ in submitted.values())
+            batch_timed_out: List[int] = []
+            for index in sorted(submitted):
+                future, submitted_at = submitted[index]
+                if future is None:
+                    continue
+                timeout = None
+                if policy.shard_timeout is not None:
+                    timeout = max(
+                        0.0,
+                        submitted_at + policy.shard_timeout - time.monotonic(),
+                    )
+                try:
+                    results[index] = future.result(timeout=timeout)
+                    del pending[index]
+                except FuturesTimeoutError:
+                    batch_timed_out.append(index)
+                    _note("timeouts")
+                except (BrokenExecutor, OSError):
+                    batch_broken = True
+            # A timeout always names its shard; a break only does when
+            # exactly one shard was in flight (a quarantine slot).
+            charged.extend(batch_timed_out)
+            if batch_broken:
+                round_broken = True
+                incident = "worker death"
+                _note("worker_deaths")
+                if len(batch) == 1:
+                    charged.extend(batch)
+                # The culprit may still be an unreaped zombie while the
+                # executor's management thread is mid-waitpid, in which
+                # case both liveness probes transiently say "alive" —
+                # poll briefly until the reap lands (it is already in
+                # flight: the broken future we just collected proves it).
+                deadline = time.monotonic() + 1.0
+                while True:
+                    dead = [
+                        pid
+                        for pid, process in batch_processes.items()
+                        if _process_dead(process)
+                    ]
+                    if dead or time.monotonic() >= deadline:
+                        break
+                    time.sleep(0.01)
+                for pid in dead:
+                    _note_worker_failure(pid)
+            if batch_timed_out or batch_broken:
+                # Dead or hung workers poison the executor: rebuild now
+                # (kills the hung worker, respawns the rest, keeps the
+                # shared blocks linked) so the next slot starts clean.
+                pool = rebuild_pool(workers)
+        if not pending:
+            break
+        exhausted: List[int] = []
+        for index in charged:
+            attempts[index] += 1
+            if attempts[index] > policy.max_retries:
+                exhausted.append(index)
+            else:
+                _note("retries")
+        for index in exhausted:
+            unit = pending.pop(index)
+            if policy.serial_fallback:
+                _note("serial_fallbacks")
+                # Same code path, parent process: bitwise identical, and
+                # the _IN_WORKER guard disarms any injected fault.
+                results[index] = worker_fn(
+                    replace(unit, attempt=attempts[index])
+                )
+            else:
+                _note("exhausted")
+                results[index] = (
+                    index,
+                    "err",
+                    _exhausted_description(attempts[index], incident),
+                )
+        quarantine = round_broken
+        if pending:
+            time.sleep(min(policy.backoff * (2 ** round_no), 2.0))
+        round_no += 1
+    return [results[index] for index in order]
+
+
+# -- worker introspection ----------------------------------------------------
+
+
+def _worker_probe(_index: int) -> Tuple[int, Dict[str, int]]:
+    """One worker's pid + cache counters, synchronized on the barrier.
 
     The barrier holds each worker at this task until every worker has
-    picked one up, which is what guarantees the ``map`` below lands on
-    ``workers`` *distinct* processes rather than one fast worker
-    draining the queue. A worker stuck elsewhere breaks the barrier via
-    timeout and the survivors report anyway.
+    picked one up, which is what guarantees the probe fan-out below
+    lands on ``workers`` *distinct* processes rather than one fast
+    worker draining the queue. A worker stuck elsewhere breaks the
+    barrier via timeout and the survivors report anyway.
     """
     if _WORKER_BARRIER is not None:
         try:
@@ -408,18 +920,84 @@ def _worker_cache_info(_index: int) -> Tuple[int, Dict[str, int]]:
     return os.getpid(), topology_cache_info()
 
 
-def worker_cache_infos() -> Dict[int, Dict[str, int]]:
-    """Topology-cache counters of every pool worker, keyed by pid.
+def _collect_probes(timeout: float) -> Tuple[Dict[int, Dict[str, int]], bool]:
+    """Fan a probe task across the pool; returns ``(by_pid, complete)``.
 
-    Empty when no pool is running.
+    Tolerates a half-dead pool: a broken executor, a dead worker or a
+    probe that never returns within ``timeout`` just drops out of the
+    result — the survivors still report, and ``complete`` says whether
+    every worker answered.
     """
     if _pool is None:
-        return {}
+        return {}, True
+    futures = []
+    for index in range(_pool_workers):
+        try:
+            futures.append(_pool.submit(_worker_probe, index))
+        except Exception:
+            break
+    results: Dict[int, Dict[str, int]] = {}
+    complete = len(futures) == _pool_workers
+    deadline = time.monotonic() + timeout
     try:
-        results = _pool.map(
-            _worker_cache_info, range(_pool_workers), chunksize=1
-        )
+        for future in futures:
+            try:
+                remaining = max(0.0, deadline - time.monotonic())
+                pid, info = future.result(timeout=remaining)
+                results[pid] = info
+            except Exception:
+                complete = False
     finally:
         if _pool_barrier is not None and _pool_barrier.broken:
-            _pool_barrier.reset()
-    return {pid: info for pid, info in results}
+            try:
+                _pool_barrier.reset()
+            except Exception:  # pragma: no cover - barrier mid-teardown
+                pass
+    return results, complete
+
+
+def worker_cache_infos(timeout: float = 10.0) -> Dict[int, Dict[str, int]]:
+    """Topology-cache counters of every pool worker, keyed by pid.
+
+    Empty when no pool is running; on a half-dead pool the surviving
+    workers' counters are returned and the dead ones are simply absent
+    (this call never raises and never blocks past ``timeout``).
+    """
+    results, _ = _collect_probes(timeout)
+    return results
+
+
+def pool_health(probe: bool = True, timeout: float = 5.0) -> Dict[str, Any]:
+    """Liveness and responsiveness of the shared worker pool.
+
+    Returns a plain dict: ``running``/``workers``/``generation`` (pool
+    state), ``alive_pids``/``dead_pids`` (from the process table),
+    ``responsive`` (did every worker answer a round-trip heartbeat
+    within ``timeout``; ``None`` when ``probe`` is off or no pool runs)
+    and ``responding_pids``. The supervision counters ride along under
+    ``"telemetry"`` so one call paints the whole failure picture.
+    """
+    health: Dict[str, Any] = {
+        "running": _pool is not None,
+        "workers": _pool_workers,
+        "generation": _pool_generation,
+        "alive_pids": [],
+        "dead_pids": [],
+        "responsive": None,
+        "responding_pids": [],
+        "telemetry": dispatch_telemetry(),
+    }
+    if _pool is None:
+        return health
+    for process in _pool_processes(_pool):
+        bucket = "dead_pids" if _process_dead(process) else "alive_pids"
+        health[bucket].append(process.pid)
+    health["alive_pids"].sort()
+    health["dead_pids"].sort()
+    if probe:
+        responses, complete = _collect_probes(timeout)
+        health["responding_pids"] = sorted(responses)
+        health["responsive"] = complete and bool(
+            responses or _pool_workers == 0
+        )
+    return health

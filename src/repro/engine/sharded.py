@@ -29,6 +29,17 @@ robustness :class:`~repro.robustness.diagnostics.Diagnostic` machinery —
 while the surviving shards still return their results. With
 ``shards=1``/``workers<=1``, or when no pool can be created, everything
 runs serially in-process through the same code path.
+
+Process-level failure is handled one layer up the same way: multi-worker
+dispatches go through :func:`repro.engine.dispatch.run_supervised`, so a
+worker that crashes or hangs costs a bounded retry (pool rebuild plus
+re-dispatch under the :class:`~repro.engine.dispatch.SupervisionPolicy`)
+and, at worst, a serial in-process evaluation of the affected shard —
+never a hung or failed call, and never a result that differs from the
+serial engine. ``fault_plan`` is the matching injection hook: a
+:class:`~repro.robustness.faults.ProcessFaultPlan` (or any
+``shard index → fault`` mapping) that makes chosen shards crash, hang
+or stall deterministically inside the worker.
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ from __future__ import annotations
 import contextlib
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -71,7 +82,10 @@ class ShardError:
     ``"scenarios"`` (an :func:`analyze_batch_sharded` shard);
     ``detail`` names the unit (``"tree 3"``, ``"scenarios 100:200"``).
     ``error_type``/``message``/``traceback`` describe the exception the
-    worker captured; :attr:`diagnostic` renders the whole record through
+    worker captured, and ``pid``/``attempt``/``elapsed_s`` say which
+    worker process failed, on which dispatch attempt, after how much
+    wall clock — so a retried-then-failed shard is diagnosable from the
+    exception alone. :attr:`diagnostic` renders the whole record through
     the robustness :class:`~repro.robustness.diagnostics.Diagnostic`
     machinery.
     """
@@ -82,15 +96,21 @@ class ShardError:
     error_type: str
     message: str
     traceback: str = ""
+    pid: Optional[int] = None
+    attempt: int = 0
+    elapsed_s: float = 0.0
 
     @property
     def diagnostic(self) -> Diagnostic:
+        where = f"pid {self.pid}" if self.pid is not None else "no worker"
         return Diagnostic(
             severity=Severity.ERROR,
             code=SHARD_FAILURE_CODE,
             message=(
                 f"{self.scope} shard {self.shard} ({self.detail}) failed: "
-                f"{self.error_type}: {self.message}"
+                f"{self.error_type}: {self.message} "
+                f"[{where}, attempt {self.attempt}, "
+                f"{self.elapsed_s:.3f}s elapsed]"
             ),
         )
 
@@ -119,21 +139,41 @@ def _resolve_workers(workers: Optional[int], units: int) -> int:
     return max(1, min(workers, units))
 
 
-def _run_units(units: List, worker_fn, workers: int) -> List[Tuple]:
-    """Run units through the pool, or serially when it cannot exist.
+def _run_units(
+    units: List,
+    worker_fn,
+    workers: int,
+    supervision: Optional[_dispatch.SupervisionPolicy] = None,
+) -> List[Tuple]:
+    """Run units through the supervised pool, or serially without one.
 
     Results come back in deterministic unit order regardless of worker
-    scheduling (``Pool.map`` preserves order; the serial path is a plain
-    loop). Worker functions capture their own exceptions, so a failure
-    here means the *pool*, not a unit, broke — fall back to serial.
+    scheduling. Worker functions capture their own exceptions, so the
+    only failures that reach this layer are *process-level* — a worker
+    crash, a hung shard, an uncreatable pool — and
+    :func:`~repro.engine.dispatch.run_supervised` absorbs all of them
+    (retry with pool rebuild, then serial in-process fallback).
     """
     if workers > 1:
-        try:
-            pool = _dispatch.get_pool(workers)
-            return pool.map(worker_fn, units, chunksize=1)
-        except (OSError, ImportError, PermissionError):
-            pass  # no pool on this platform: degrade to in-process
+        return _dispatch.run_supervised(
+            units, worker_fn, workers, policy=supervision
+        )
     return [worker_fn(unit) for unit in units]
+
+
+def _fault_for(fault_plan: Any, index: int) -> Any:
+    """The process fault ``fault_plan`` assigns to shard ``index``.
+
+    Accepts a :class:`~repro.robustness.faults.ProcessFaultPlan` (via
+    its ``for_shard`` method), any mapping of shard index to fault, or
+    ``None``.
+    """
+    if fault_plan is None:
+        return None
+    for_shard = getattr(fault_plan, "for_shard", None)
+    if for_shard is not None:
+        return for_shard(index)
+    return fault_plan.get(index)
 
 
 # -- heterogeneous tree sets -------------------------------------------------
@@ -147,6 +187,8 @@ def analyze_many(
     workers: Optional[int] = None,
     check_domain: bool = True,
     cache: bool = True,
+    supervision: Optional[_dispatch.SupervisionPolicy] = None,
+    fault_plan: Any = None,
 ) -> List[Union[TimingTable, ShardError]]:
     """Evaluate many (possibly heterogeneous) trees across workers.
 
@@ -167,6 +209,13 @@ def analyze_many(
     the closed forms' domain reports a typed per-tree error instead of a
     NaN-filled table, mirroring the scalar path's
     :class:`~repro.errors.ElementValueError`.
+
+    Multi-worker dispatches run under ``supervision`` (defaulting to
+    the stock :class:`~repro.engine.dispatch.SupervisionPolicy`): hung
+    or crashed workers cost a bounded retry and at worst a serial
+    re-evaluation of the affected units, never a hung call.
+    ``fault_plan`` maps unit indices to process-level faults for the
+    robustness recovery tests.
     """
     validate_settle_band(settle_band)
     select = None
@@ -195,10 +244,11 @@ def analyze_many(
                 settle_band=settle_band,
                 select=select,
                 check_domain=check_domain,
+                fault=_fault_for(fault_plan, index),
             )
         )
     workers = _resolve_workers(workers, len(units))
-    raw = _run_units(units, _dispatch.run_tree_unit, workers)
+    raw = _run_units(units, _dispatch.run_tree_unit, workers, supervision)
     by_index = {index: (status, body) for index, status, body in raw}
     out: List[Union[TimingTable, ShardError]] = []
     for index, ct in enumerate(compiled):
@@ -250,6 +300,8 @@ def analyze_batch_sharded(
     shards: int = 1,
     workers: Optional[int] = None,
     fault_shards: Sequence[int] = (),
+    supervision: Optional[_dispatch.SupervisionPolicy] = None,
+    fault_plan: Any = None,
 ) -> BatchTiming:
     """:func:`~repro.engine.table.analyze_batch`, sharded across workers.
 
@@ -270,8 +322,12 @@ def analyze_batch_sharded(
     carrying the structured :class:`ShardError` records *and* the
     surviving shards' :class:`ShardOutcome` results — partial work is
     reported, never silently discarded. ``fault_shards`` injects a
-    deliberate failure into the named shard indices (the robustness
-    fault-injection hook).
+    deliberate *value-level* failure into the named shard indices (the
+    robustness fault-injection hook); ``fault_plan`` maps shard indices
+    to *process-level* faults (crash/hang/delay inside the worker),
+    which the supervised dispatch recovers from transparently.
+    Multi-worker dispatches run under ``supervision`` (defaulting to the
+    stock :class:`~repro.engine.dispatch.SupervisionPolicy`).
     """
     validate_settle_band(settle_band)
     if shards < 1:
@@ -282,7 +338,7 @@ def analyze_batch_sharded(
     workers = _resolve_workers(workers, shards)
     fault_shards = frozenset(fault_shards)
 
-    if shards == 1 and workers <= 1 and not fault_shards:
+    if shards == 1 and workers <= 1 and not fault_shards and fault_plan is None:
         # Serial fast path: no pickling, no block copy.
         from .table import analyze_batch
 
@@ -326,9 +382,10 @@ def analyze_batch_sharded(
                     inject=(
                         f"fault_shards[{index}]" if index in fault_shards else None
                     ),
+                    fault=_fault_for(fault_plan, index),
                 )
             )
-        raw = _run_units(units, _dispatch.run_batch_shard, workers)
+        raw = _run_units(units, _dispatch.run_batch_shard, workers, supervision)
 
     by_index = {index: (status, body) for index, status, body in raw}
     errors: List[ShardError] = []

@@ -22,10 +22,16 @@ one system:
   scattered ``use_engine=``/``use_incremental=``/``workers=`` flags
   (kept as deprecated aliases);
 * :mod:`~repro.runtime.stats` — the single instrumentation surface
-  behind ``context.stats()`` and CLI ``--debug``.
+  behind ``context.stats()`` and CLI ``--debug``;
+* :mod:`~repro.runtime.breaker` — per-backend circuit breakers: N
+  consecutive sharded failures (or one worker-pool rebuild) open the
+  breaker, the planner degrades tripped routes along
+  ``sharded -> compiled -> scalar`` with provenance and a warn-once
+  notice, and a cooldown-expired half-open probe closes it again.
 
 See ``docs/ARCHITECTURE.md`` for the layer map and the routing
-decision table.
+decision table, and ``docs/ROBUSTNESS.md`` for the process-level
+fault-recovery story.
 """
 
 from .backends import (
@@ -38,6 +44,7 @@ from .backends import (
     ShardedBackend,
     default_registry,
 )
+from .breaker import BreakerBoard, CircuitBreaker
 from .config import (
     BACKEND_NAMES,
     RuntimeConfig,
@@ -49,6 +56,7 @@ from .context import (
     Session,
     default_context,
     reset_default_context,
+    reset_degradation_warnings,
     resolve_context,
     set_default_context,
 )
@@ -60,6 +68,8 @@ __all__ = [
     "WORKLOAD_KINDS",
     "Backend",
     "BackendRegistry",
+    "BreakerBoard",
+    "CircuitBreaker",
     "CompiledBackend",
     "ExecutionContext",
     "ExecutionPlan",
@@ -75,6 +85,7 @@ __all__ = [
     "default_registry",
     "plan",
     "reset_default_context",
+    "reset_degradation_warnings",
     "reset_deprecation_warnings",
     "resolve_context",
     "set_default_context",

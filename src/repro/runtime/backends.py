@@ -314,15 +314,36 @@ class IncrementalBackend(Backend):
         )
 
 
+def _supervision_policy(config: RuntimeConfig):
+    """The dispatch-layer supervision policy this config asks for."""
+    from ..engine.dispatch import SupervisionPolicy
+
+    return SupervisionPolicy(
+        shard_timeout=config.shard_timeout,
+        max_retries=config.max_retries,
+        backoff=config.retry_backoff,
+    )
+
+
 class ShardedBackend(Backend):
-    """The multi-process dispatch layer over the compiled kernels."""
+    """The multi-process dispatch layer over the compiled kernels.
+
+    Every dispatch runs under the supervision policy the config's
+    ``shard_timeout``/``max_retries``/``retry_backoff`` knobs describe:
+    worker death and hung shards cost a bounded retry (with automatic
+    pool rebuild) and at worst a serial in-process evaluation — the
+    call never hangs and the numbers never change.
+    """
 
     name = "sharded"
     capabilities = frozenset({CAP_POINT, CAP_TABLE, CAP_BATCH, CAP_MANY})
 
     def open(self, source, settle_band, config):
         result = analyze_many(
-            [source], settle_band=settle_band, workers=config.workers
+            [source],
+            settle_band=settle_band,
+            workers=config.workers,
+            supervision=_supervision_policy(config),
         )[0]
         if isinstance(result, ShardError):
             raise DispatchError(str(result))
@@ -341,6 +362,7 @@ class ShardedBackend(Backend):
             metrics=metrics,
             shards=shards,
             workers=workers,
+            supervision=_supervision_policy(config),
         )
 
     def many(self, trees, settle_band, metrics, config):
@@ -349,6 +371,7 @@ class ShardedBackend(Backend):
             settle_band=settle_band,
             metrics=metrics,
             workers=config.workers,
+            supervision=_supervision_policy(config),
         )
 
 

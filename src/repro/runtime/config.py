@@ -89,6 +89,24 @@ class RuntimeConfig:
         route to the sharded backend when ``workers > 1``; smaller
         batches stay on the in-process compiled kernels, whose results
         are bitwise identical anyway.
+    shard_timeout:
+        Wall-clock budget (seconds) for each shard of a supervised
+        dispatch, measured from its own submission; ``None`` disables
+        the deadline (worker *crashes* are still detected, hangs are
+        not). The CLI flag ``--shard-timeout`` maps here.
+    max_retries:
+        How many times one shard is re-dispatched after a timeout or
+        worker death before degrading to a serial in-process
+        evaluation. The CLI flag ``--max-retries`` maps here.
+    retry_backoff:
+        Base of the exponential backoff between supervision retry
+        rounds (``retry_backoff * 2**round`` seconds, capped at 2 s).
+    breaker_threshold:
+        Consecutive sharded-dispatch failures that trip the backend's
+        circuit breaker (a pool rebuild trips it immediately).
+    breaker_cooldown:
+        Seconds a tripped breaker stays open before admitting a
+        half-open probe request.
     """
 
     backend: Optional[str] = None
@@ -97,6 +115,11 @@ class RuntimeConfig:
     flush_threshold: float = 0.25
     point_scalar_max: int = 64
     sharded_min_cells: int = 4096
+    shard_timeout: Optional[float] = 30.0
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self):
         if self.backend is not None and self.backend not in BACKEND_NAMES:
@@ -121,6 +144,30 @@ class RuntimeConfig:
             raise ConfigurationError(
                 "point_scalar_max and sharded_min_cells must be "
                 "non-negative"
+            )
+        if self.shard_timeout is not None and not self.shard_timeout > 0:
+            raise ConfigurationError(
+                f"shard_timeout must be positive or None, got "
+                f"{self.shard_timeout!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries!r}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be non-negative, got "
+                f"{self.retry_backoff!r}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold!r}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ConfigurationError(
+                f"breaker_cooldown must be non-negative, got "
+                f"{self.breaker_cooldown!r}"
             )
 
     @property

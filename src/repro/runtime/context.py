@@ -24,7 +24,8 @@ leak path ``analyze_many`` callers used to have on error exits.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+import warnings
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -34,7 +35,9 @@ from ..engine.compiled import CompiledTree
 from ..engine.incremental import IncrementalAnalyzer
 from ..engine.sharded import ShardError
 from ..engine.table import BatchTiming, TimingTable
+from ..errors import DispatchError
 from .backends import BackendRegistry, SessionState, default_registry
+from .breaker import BreakerBoard
 from .config import RuntimeConfig
 from .planner import ExecutionPlan, Workload, plan
 from .stats import RuntimeStats
@@ -46,9 +49,37 @@ __all__ = [
     "set_default_context",
     "reset_default_context",
     "resolve_context",
+    "reset_degradation_warnings",
 ]
 
 TreeSource = Union[RLCTree, CompiledTree]
+
+#: Common prefix of every degradation warning; the targeted pytest
+#: ``filterwarnings`` entry in pyproject.toml matches on it.
+_DEGRADED_PREFIX = "repro.runtime degraded"
+
+#: (from_backend, to_backend) pairs that already warned this process.
+_degraded_warned: Set[Tuple[str, str]] = set()
+
+
+def _warn_degraded(from_backend: str, to_backend: str) -> None:
+    """Warn (once per route) that a tripped breaker rerouted a plan."""
+    key = (from_backend, to_backend)
+    if key in _degraded_warned:
+        return
+    _degraded_warned.add(key)
+    warnings.warn(
+        f"{_DEGRADED_PREFIX}: backend {from_backend!r} circuit breaker is "
+        f"open; routing to {to_backend!r} instead (results are identical, "
+        "throughput is reduced until the breaker closes)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def reset_degradation_warnings() -> None:
+    """Forget which degradations already warned (test isolation)."""
+    _degraded_warned.clear()
 
 
 class Session:
@@ -124,6 +155,10 @@ class ExecutionContext:
         self._config = config or RuntimeConfig()
         self._registry = registry or default_registry()
         self._stats = RuntimeStats()
+        self._breakers = BreakerBoard(
+            threshold=self._config.breaker_threshold,
+            cooldown=self._config.breaker_cooldown,
+        )
         self._closed = False
 
     # -- policy ------------------------------------------------------------
@@ -136,15 +171,69 @@ class ExecutionContext:
     def registry(self) -> BackendRegistry:
         return self._registry
 
+    @property
+    def breakers(self) -> BreakerBoard:
+        """The per-backend circuit breakers this context maintains."""
+        return self._breakers
+
     def plan(
         self, workload: Workload, backend: Optional[str] = None
     ) -> ExecutionPlan:
-        """Route one workload; forced ``backend`` always wins."""
-        decision = plan(workload, self._config, backend)
+        """Route one workload; forced ``backend`` always wins.
+
+        Backends whose circuit breaker is open are routed around
+        (``sharded -> compiled -> scalar``); the returned plan records
+        the degradation in its provenance and a warn-once
+        ``RuntimeWarning`` flags the first occurrence of each route.
+        """
+        decision = plan(
+            workload,
+            self._config,
+            backend,
+            unavailable=self._breakers.open_backends(),
+        )
         # Surface capability mismatches at plan time, not mid-dispatch.
         self._registry.get(decision.backend).require(workload.kind)
-        self._stats.record_plan(decision.forced)
+        self._stats.record_plan(decision.forced, decision.degraded)
+        if decision.degraded:
+            _warn_degraded(decision.degraded_from, decision.backend)
         return decision
+
+    def _dispatch(self, decision: ExecutionPlan, call: Callable):
+        """Run one backend call and keep its circuit breaker informed.
+
+        For the sharded backend the dispatch-layer telemetry delta is
+        the health signal: a pool rebuild during the call trips the
+        breaker immediately (a worker died — the next calls should not
+        pay for respawning workers again), a serial fallback counts as
+        a failure, a clean run counts as a success (closing a half-open
+        breaker). A :class:`~repro.errors.DispatchError` — shards
+        failed outright — always counts as a failure, whatever the
+        backend.
+        """
+        breaker = self._breakers.breaker(decision.backend)
+        if decision.backend != "sharded":
+            try:
+                return call()
+            except DispatchError as exc:
+                breaker.record_failure(str(exc))
+                raise
+        from ..engine.dispatch import dispatch_telemetry
+
+        before = dispatch_telemetry()
+        try:
+            result = call()
+        except DispatchError as exc:
+            breaker.record_failure(str(exc))
+            raise
+        after = dispatch_telemetry()
+        if after["rebuilds"] > before["rebuilds"]:
+            breaker.trip("worker pool rebuilt during dispatch")
+        elif after["serial_fallbacks"] > before["serial_fallbacks"]:
+            breaker.record_failure("shard exhausted retries")
+        else:
+            breaker.record_success()
+        return result
 
     # -- per-tree sessions -------------------------------------------------
 
@@ -173,7 +262,10 @@ class ExecutionContext:
         decision = self.plan(workload, backend)
         adapter = self._registry.get(decision.backend)
         with self._stats.record(decision.backend, kind):
-            state = adapter.open(tree, settle_band, self._config)
+            state = self._dispatch(
+                decision,
+                lambda: adapter.open(tree, settle_band, self._config),
+            )
         return Session(self, state, decision)
 
     # -- bulk dispatch -----------------------------------------------------
@@ -197,8 +289,11 @@ class ExecutionContext:
         decision = self.plan(workload, backend)
         adapter = self._registry.get(decision.backend)
         with self._stats.record(decision.backend, "batch"):
-            return adapter.batch(
-                compiled, rlc, settle_band, metrics, self._config
+            return self._dispatch(
+                decision,
+                lambda: adapter.batch(
+                    compiled, rlc, settle_band, metrics, self._config
+                ),
             )
 
     def analyze_many(
@@ -223,7 +318,12 @@ class ExecutionContext:
         decision = self.plan(workload, backend)
         adapter = self._registry.get(decision.backend)
         with self._stats.record(decision.backend, "many"):
-            return adapter.many(trees, settle_band, metrics, self._config)
+            return self._dispatch(
+                decision,
+                lambda: adapter.many(
+                    trees, settle_band, metrics, self._config
+                ),
+            )
 
     # -- instrumentation ---------------------------------------------------
 
@@ -239,8 +339,15 @@ class ExecutionContext:
         return self._stats.record(backend, kind)
 
     def stats(self) -> dict:
-        """The one instrumentation snapshot (see :class:`RuntimeStats`)."""
-        return self._stats.snapshot()
+        """The one instrumentation snapshot (see :class:`RuntimeStats`).
+
+        On top of the :class:`RuntimeStats` groups, ``"breakers"``
+        holds this context's per-backend circuit-breaker states and
+        transition history.
+        """
+        snapshot = self._stats.snapshot()
+        snapshot["breakers"] = self._breakers.snapshot()
+        return snapshot
 
     def reset_stats(self) -> None:
         self._stats.reset()

@@ -23,17 +23,35 @@ table     always (one vectorized pass)                  compiled
 point     ``tree_size <= point_scalar_max``             scalar
 point     otherwise                                     compiled
 ========  ============================================  ===========
+
+When a backend is *unavailable* — its circuit breaker tripped after
+repeated shard failures or a pool rebuild — the auto-routing degrades
+along ``sharded -> compiled -> scalar`` instead, stopping at the last
+backend that still supports the workload (batch/many never drop below
+``compiled``). The resulting plan is marked ``degraded`` and carries
+the skipped backend in its provenance; results are numerically
+identical on every rung of the chain, so degradation costs throughput,
+never correctness. A *forced* backend is never rerouted — an explicit
+``backend=`` wins over the breaker, and the caller owns the outcome.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .config import RuntimeConfig
 
 __all__ = ["WORKLOAD_KINDS", "Workload", "ExecutionPlan", "plan"]
+
+#: Degradation chain: a tripped backend falls back to the next one
+#: whose results are numerically identical for the workload.
+_DEGRADE = {"sharded": "compiled", "compiled": "scalar"}
+
+#: Workload kinds the scalar backend cannot serve — their degradation
+#: chain bottoms out at ``compiled``.
+_COMPILED_FLOOR = frozenset({"batch", "many", "table", "edit"})
 
 #: The five workload shapes the runtime routes.
 WORKLOAD_KINDS: Tuple[str, ...] = ("point", "table", "batch", "edit", "many")
@@ -71,31 +89,75 @@ class Workload:
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """A routing decision plus its provenance."""
+    """A routing decision plus its provenance.
+
+    ``degraded`` marks a plan the breaker rerouted: ``degraded_from``
+    is the backend the heuristics *wanted* and ``backend`` the healthy
+    one that will actually serve — the reasons tuple records the walk.
+    """
 
     backend: str
     workload: Workload
     forced: bool
     reasons: Tuple[str, ...]
+    degraded: bool = False
+    degraded_from: Optional[str] = None
 
     def __str__(self) -> str:
         tag = "forced" if self.forced else "auto"
+        if self.degraded:
+            tag += f", degraded from {self.degraded_from}"
         return (
             f"{self.workload.kind} -> {self.backend} [{tag}] "
             f"({'; '.join(self.reasons)})"
         )
 
 
+def _degrade(
+    chosen: str, workload: Workload, unavailable: Sequence[str]
+) -> Tuple[str, Tuple[str, ...]]:
+    """Walk the degradation chain past every unavailable backend.
+
+    Returns the healthy backend plus the provenance entries describing
+    each step. The walk stops at the workload's capability floor: a
+    batch/many/table workload never drops below ``compiled`` even when
+    that breaker is open too — degradation must not change what the
+    call can compute, and at the floor the supervised dispatch layer's
+    own serial fallback is the remaining safety net.
+    """
+    reasons = []
+    current = chosen
+    while current in unavailable:
+        fallback = _DEGRADE.get(current)
+        if fallback is None:
+            break
+        if fallback == "scalar" and workload.kind in _COMPILED_FLOOR:
+            reasons.append(
+                f"breaker open for {current!r} but {workload.kind!r} "
+                "needs the compiled kernels; keeping it"
+            )
+            break
+        reasons.append(
+            f"breaker open for {current!r} -> degraded to {fallback!r}"
+        )
+        current = fallback
+    return current, tuple(reasons)
+
+
 def plan(
     workload: Workload,
     config: Optional[RuntimeConfig] = None,
     backend: Optional[str] = None,
+    unavailable: Sequence[str] = (),
 ) -> ExecutionPlan:
     """Pick a backend for ``workload`` and say why.
 
     ``backend`` (per-call) beats ``config.backend`` beats the
     size/batch/edit-count heuristics; a forced backend always wins and
-    is recorded as such in the provenance.
+    is recorded as such in the provenance. ``unavailable`` names
+    backends whose circuit breaker is open right now — the auto chosen
+    backend degrades along ``sharded -> compiled -> scalar`` past them
+    (forced backends do not: an explicit choice beats the breaker).
     """
     config = config or RuntimeConfig()
     forced = backend or config.backend
@@ -103,11 +165,16 @@ def plan(
         origin = "call" if backend else "config"
         # Validate through RuntimeConfig's name check.
         config.with_backend(forced)
+        reasons = [f"backend {forced!r} forced by {origin}"]
+        if forced in unavailable:
+            reasons.append(
+                f"breaker open for {forced!r} ignored: forced by {origin}"
+            )
         return ExecutionPlan(
             backend=forced,
             workload=workload,
             forced=True,
-            reasons=(f"backend {forced!r} forced by {origin}",),
+            reasons=tuple(reasons),
         )
 
     reasons = []
@@ -161,9 +228,12 @@ def plan(
                 f"{workload.tree_size} nodes > point_scalar_max="
                 f"{config.point_scalar_max} -> compiled table"
             )
+    final, degrade_reasons = _degrade(chosen, workload, unavailable)
     return ExecutionPlan(
-        backend=chosen,
+        backend=final,
         workload=workload,
         forced=False,
-        reasons=tuple(reasons),
+        reasons=tuple(reasons) + degrade_reasons,
+        degraded=final != chosen,
+        degraded_from=chosen if final != chosen else None,
     )

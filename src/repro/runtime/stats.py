@@ -24,13 +24,15 @@ class RuntimeStats:
         self._dispatch: Dict[str, int] = {}
         self._workloads: Dict[str, int] = {}
         self._phase_seconds: Dict[str, float] = {}
-        self._plans = {"auto": 0, "forced": 0}
+        self._plans = {"auto": 0, "forced": 0, "degraded": 0}
         self._pool_dispatches = 0
 
     # -- recording ---------------------------------------------------------
 
-    def record_plan(self, forced: bool) -> None:
+    def record_plan(self, forced: bool, degraded: bool = False) -> None:
         self._plans["forced" if forced else "auto"] += 1
+        if degraded:
+            self._plans["degraded"] += 1
 
     @contextmanager
     def record(self, backend: str, kind: str):
@@ -55,13 +57,22 @@ class RuntimeStats:
 
         Keys: ``"dispatch"`` (per-backend call counts), ``"workloads"``
         (per-kind call counts), ``"phases"`` (per-kind wall-clock
-        seconds), ``"plans"`` (auto vs forced decisions), ``"caches"``
-        (the engine layer's :func:`~repro.engine.cache_info` groups) and
-        ``"pool"`` (worker pool size, sharded dispatches through this
-        context, live shared-memory blocks process-wide).
+        seconds), ``"plans"`` (auto vs forced vs breaker-degraded
+        decisions), ``"caches"`` (the engine layer's
+        :func:`~repro.engine.cache_info` groups), ``"pool"`` (worker
+        pool size and generation, sharded dispatches through this
+        context, live shared-memory blocks process-wide) and
+        ``"supervision"`` (the dispatch layer's process-wide failure
+        telemetry: timeouts, retries, rebuilds, worker deaths, serial
+        fallbacks, per-worker failure counts).
         """
         from ..engine import cache_info
-        from ..engine.dispatch import _live_blocks, pool_size
+        from ..engine.dispatch import (
+            _live_blocks,
+            dispatch_telemetry,
+            pool_generation,
+            pool_size,
+        )
 
         return {
             "dispatch": dict(self._dispatch),
@@ -71,9 +82,11 @@ class RuntimeStats:
             "caches": cache_info(),
             "pool": {
                 "workers": pool_size(),
+                "generation": pool_generation(),
                 "sharded_dispatches": self._pool_dispatches,
                 "live_blocks": len(_live_blocks),
             },
+            "supervision": dispatch_telemetry(),
         }
 
     def reset(self) -> None:

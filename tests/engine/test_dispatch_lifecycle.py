@@ -14,10 +14,15 @@ from repro.circuit import fig5_tree, random_tree
 from repro.engine import analyze_many, dispatch_pool
 from repro.engine.dispatch import (
     SharedBlock,
+    _atexit_cleanup,
     _live_blocks,
+    get_pool,
+    pool_generation,
     pool_size,
+    rebuild_pool,
     shared_memory_available,
     shutdown_pool,
+    worker_cache_infos,
 )
 from repro.errors import ReproError
 
@@ -106,3 +111,89 @@ class TestSharedBlockScope:
             with SharedBlock(np.zeros(2)) as block:
                 raise ValueError("inner")
         assert block not in _live_blocks
+
+
+class TestSupervisedLifecycle:
+    """Edge cases introduced by pool rebuilds and supervision."""
+
+    def test_nested_dispatch_pool_reuses_and_defers_teardown(self):
+        # The inner scope must not tear down the pool the outer scope
+        # still owns; only the outermost exit shuts it down.
+        with dispatch_pool(2) as outer:
+            with dispatch_pool(2) as inner:
+                assert inner is outer
+                assert pool_size() == 2
+            assert pool_size() == 2  # inner exit is a no-op
+        assert pool_size() == 0
+
+    def test_get_pool_after_rebuild_returns_fresh_executor(self):
+        first = get_pool(2)
+        generation = pool_generation()
+        rebuilt = rebuild_pool()
+        assert rebuilt is not None
+        assert rebuilt is not first
+        assert pool_generation() == generation + 1
+        assert get_pool(2) is rebuilt  # cached, no second rebuild
+        assert pool_size() == 2
+
+    def test_rebuild_without_pool_is_a_no_op(self):
+        assert pool_size() == 0
+        generation = pool_generation()
+        assert rebuild_pool() is None
+        assert pool_generation() == generation
+
+    def test_shutdown_pool_is_idempotent(self):
+        get_pool(2)
+        shutdown_pool()
+        shutdown_pool()  # second call: nothing to do, must not raise
+        assert pool_size() == 0
+
+    def test_worker_cache_infos_on_half_dead_pool(self):
+        import os
+        import signal
+
+        pool = get_pool(2)
+        # Force workers to spawn, then kill one out from under the pool.
+        infos = worker_cache_infos(timeout=15.0)
+        assert infos  # healthy baseline: every worker answered
+        victim = next(iter(pool._processes.values()))
+        os.kill(victim.pid, signal.SIGKILL)
+        # The probe must return (possibly partial), never hang or raise.
+        infos = worker_cache_infos(timeout=5.0)
+        assert isinstance(infos, dict)
+        assert victim.pid not in infos
+
+    def test_shared_block_survives_pool_rebuild(self):
+        # Blocks are parent-owned; a rebuild must not unlink them.
+        from multiprocessing import shared_memory
+
+        with SharedBlock(np.arange(6.0)) as block:
+            get_pool(2)
+            rebuild_pool()
+            attached = shared_memory.SharedMemory(name=block.ref.name)
+            attached.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=block.ref.name)
+
+    def test_atexit_cleanup_unlinks_blocks_by_name(self):
+        from multiprocessing import shared_memory
+
+        block = SharedBlock(np.zeros(3))
+        name = block.ref.name
+        get_pool(2)
+        _atexit_cleanup()
+        assert pool_size() == 0
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_atexit_cleanup_survives_a_poisoned_block(self):
+        from multiprocessing import shared_memory
+
+        bad = SharedBlock(np.zeros(2))
+        bad.close()
+        _live_blocks.add(bad)  # simulate a block whose close() will fail
+        good = SharedBlock(np.zeros(2))
+        name = good.ref.name
+        _atexit_cleanup()  # must not propagate the double-close
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

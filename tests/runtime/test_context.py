@@ -76,7 +76,9 @@ class TestStats:
         context.session(fig5)
         context.reset_stats()
         assert context.stats()["dispatch"] == {}
-        assert context.stats()["plans"] == {"auto": 0, "forced": 0}
+        assert context.stats()["plans"] == {
+            "auto": 0, "forced": 0, "degraded": 0
+        }
 
     def test_forced_plans_counted(self, fig5):
         context = ExecutionContext()
