@@ -1,0 +1,80 @@
+"""Serial/sharded crossover calibration — the measured break-even.
+
+Pytest front end for the crossover half of ``run_benchmarks.py``: the
+``perf``-marked quick test is the CI smoke gate — a real (tiny)
+calibration must produce a well-formed, persistable model, and routing
+a below-break-even batch through a calibrated context must never be
+meaningfully slower than calling the serial engine directly (the
+``ROUTED_FLOOR`` contract, asserted on every box regardless of core
+count). The unmarked report test regenerates ``BENCH_crossover.json``
+at the repository root. Run with::
+
+    pytest benchmarks/bench_crossover.py -m perf -s        # quick
+    pytest benchmarks/bench_crossover.py -m "not perf" -s  # full
+"""
+
+import pytest
+
+import run_benchmarks
+from repro.engine import effective_cpu_count, shutdown_pool
+from repro.runtime import load_calibration, run_calibration, save_calibration
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    yield
+    shutdown_pool()
+
+
+@pytest.mark.perf
+def test_calibrated_routing_never_slower_quick(tmp_path):
+    """The --quick contract: calibration round-trips, routing holds the
+    never-slower floor, numbers stay bitwise identical."""
+    workers = max(2, min(4, effective_cpu_count()))
+    calibration = run_calibration(
+        workers=workers, sizes=(64, 256), repeats=2
+    )
+    assert calibration.workers == workers
+    assert all(s > 0 and p > 0 for _, s, p in calibration.samples)
+    path = save_calibration(calibration, tmp_path / "BENCH_crossover.json")
+    assert load_calibration(path) == calibration
+
+    routed = run_benchmarks.bench_routed_crossover(calibration)
+    assert routed["max_abs_drift"] == 0.0, (
+        "calibrated routing must be bitwise identical to direct serial"
+    )
+    assert routed["ratio_vs_serial"] >= run_benchmarks.ROUTED_FLOOR, (
+        f"calibrated routing ran at {routed['ratio_vs_serial']:.2f}x of "
+        f"direct serial speed (floor {run_benchmarks.ROUTED_FLOOR})"
+    )
+
+
+def test_crossover_report(report):
+    """Full-scale calibration; writes BENCH_crossover.json at the root."""
+    workers = max(2, min(4, effective_cpu_count()))
+    calibration = run_calibration(workers=workers)
+    save_calibration(calibration, run_benchmarks.RESULT_CROSSOVER_PATH)
+    report.table(
+        ("cells", "serial_s", "sharded_s", "sharded/serial"),
+        [
+            (cells, serial_s, sharded_s, sharded_s / serial_s)
+            for cells, serial_s, sharded_s in calibration.samples
+        ],
+    )
+    breakeven = (
+        f"{calibration.breakeven_cells} cells"
+        if calibration.breakeven_cells is not None
+        else "never on this box"
+    )
+    report.line(
+        f"{workers} workers ({effective_cpu_count()} effective cores); "
+        f"break-even {breakeven}"
+    )
+    routed = run_benchmarks.bench_routed_crossover(calibration)
+    report.line(
+        f"routed {routed['scenarios']}x{routed['sections']} batch at "
+        f"{routed['ratio_vs_serial']:.2f}x of direct serial "
+        f"({routed['routed_sharded_calls']} sharded dispatches)"
+    )
+    assert routed["max_abs_drift"] == 0.0
+    assert routed["ratio_vs_serial"] >= run_benchmarks.ROUTED_FLOOR

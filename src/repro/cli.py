@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         "timed out before degrading to serial in-process evaluation "
         "(default: 2)",
     )
+    parser.add_argument(
+        "--array-backend", default=None, metavar="NAME",
+        help="array backend for the compiled kernels: numpy, cupy, mlx "
+        "or auto (best available, preferring accelerators); "
+        "unavailable backends fail with a clear error "
+        "(default: the process-wide active backend, normally numpy)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser(
@@ -365,7 +372,14 @@ def _print_cache_info(runtime: ExecutionContext) -> None:
         print(f"  {group}: {body}", file=sys.stderr)
     stats = runtime.stats()
     print("runtime stats:", file=sys.stderr)
-    for group in ("dispatch", "workloads", "plans", "pool", "supervision"):
+    for group in (
+        "dispatch",
+        "workloads",
+        "plans",
+        "pool",
+        "supervision",
+        "transport",
+    ):
         counters = stats[group]
         body = ", ".join(f"{key}={value}" for key, value in counters.items())
         print(f"  {group}: {body}", file=sys.stderr)
@@ -403,6 +417,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.max_retries is not None:
         overrides["max_retries"] = args.max_retries
+    if args.array_backend is not None:
+        overrides["array_backend"] = args.array_backend
     config = RuntimeConfig(
         backend=getattr(args, "backend", None), **overrides
     )

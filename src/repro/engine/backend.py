@@ -1,0 +1,362 @@
+"""Pluggable array backend: the NumPy/CuPy/MLX seam of the kernels.
+
+Every vectorized code path of the engine — the closed-form metric
+kernels (:mod:`repro.engine.kernels`), the topology sweeps
+(:meth:`~repro.engine.compiled.CompiledTopology.accumulate` /
+``descend``) and the batch assembly in :mod:`repro.engine.table` — does
+its array math through one :class:`ArrayBackend` object instead of a
+hard-wired ``numpy`` import. A backend is duck-typed around two ideas:
+
+* :attr:`ArrayBackend.xp` — the numpy-like namespace the kernels call
+  (``xp.where``, ``xp.sqrt``, ``xp.cumsum``, ...). NumPy, CuPy and MLX
+  all expose this shape of API;
+* a handful of named shims for the operations the namespaces disagree
+  on: :meth:`~ArrayBackend.add_reduceat` (CuPy/MLX have no
+  ``ufunc.reduceat``; the base class round-trips through host NumPy),
+  :meth:`~ArrayBackend.errstate` (device backends have no FP-warning
+  machinery; the base class is a null context) and the
+  :meth:`~ArrayBackend.asarray` / :meth:`~ArrayBackend.to_numpy`
+  transfer pair that marks the host/device boundary.
+
+The **default backend is NumPy and its code path is byte-for-byte the
+pre-seam code**: ``xp is numpy``, ``asarray``/``to_numpy`` are
+``numpy.asarray`` (no copy, no conversion), ``add_reduceat`` is
+``numpy.add.reduceat`` and ``errstate`` is the same
+``errstate(all="ignore")`` guard the kernels always used — so NumPy
+results are bitwise identical to the pre-backend engine, which the
+equivalence suite pins.
+
+Accelerator backends (CuPy for CUDA, MLX for Apple silicon) are
+*auto-detected*: :func:`detect_array_backend` probes for an importable,
+working module and falls back to NumPy when none is present, so
+``array_backend="auto"`` is always safe. Device arrays live only inside
+one kernel invocation — results cross back to host NumPy at the
+:class:`~repro.engine.kernels.MetricArrays` boundary, so every
+downstream consumer (tables, apps, the CLI) is backend-agnostic.
+
+Selection is process-global (:func:`set_array_backend`) with a scoped
+override (:func:`use_array_backend`) that the runtime layer wraps
+around every dispatch when :class:`~repro.runtime.config.RuntimeConfig`
+carries an ``array_backend``; the CLI flag ``--array-backend`` maps
+there. Worker processes of the sharded dispatch always run the NumPy
+backend — multiprocess sharding *is* the CPU-parallel path, and the
+two parallelism modes compose by splitting at the process boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import threading
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ARRAY_BACKEND_NAMES",
+    "ArrayBackend",
+    "NumpyBackend",
+    "CupyBackend",
+    "MLXBackend",
+    "register_array_backend",
+    "available_array_backends",
+    "detect_array_backend",
+    "get_array_backend",
+    "active_array_backend",
+    "set_array_backend",
+    "use_array_backend",
+]
+
+#: Registered backend names in auto-detection preference order;
+#: ``"auto"`` (accepted by :func:`get_array_backend` and the runtime
+#: config) resolves to the first of these that imports and works.
+ARRAY_BACKEND_NAMES: Tuple[str, ...] = ("cupy", "mlx", "numpy")
+
+
+class ArrayBackend:
+    """One array-math implementation behind the kernel seam.
+
+    Subclasses set :attr:`name` and :attr:`xp` (the numpy-like
+    namespace) and override the transfer/shim methods where their
+    namespace differs from NumPy. The base-class implementations are
+    the *portable fallbacks*: correct for any backend whose arrays
+    NumPy can ingest, at the cost of a host round-trip.
+    """
+
+    #: Registry key (``"numpy"``, ``"cupy"``, ``"mlx"``, ...).
+    name: str = ""
+    #: The numpy-like namespace kernels call for elementwise math.
+    xp = np
+    #: Whether :attr:`xp` supports NumPy-style in-place fancy-index
+    #: scatter (``a[..., idx] += b``). The topology level sweeps run
+    #: through :attr:`xp` when true; otherwise they run on host NumPy
+    #: and ship the result across via :meth:`asarray` (MLX arrays are
+    #: immutable, for example).
+    supports_scatter: bool = False
+
+    @property
+    def is_numpy(self) -> bool:
+        """True when :attr:`xp` is the NumPy module itself."""
+        return self.xp is np
+
+    # -- host/device transfer ----------------------------------------------
+
+    def asarray(self, array) -> "np.ndarray":
+        """Ingest a host array into this backend's array type."""
+        return self.xp.asarray(array, dtype=self.xp.float64)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Materialize a backend array on the host as float64 NumPy."""
+        return np.asarray(array, dtype=float)
+
+    # -- namespace shims ----------------------------------------------------
+
+    def add_reduceat(self, array, starts, axis: int = -1):
+        """Segmented sums: ``numpy.add.reduceat`` semantics.
+
+        The portable fallback round-trips through host NumPy — the
+        reduceat association is what the bitwise-equivalence contract
+        of :meth:`CompiledTopology.accumulate` is defined against, so
+        a backend without a native equivalent must not substitute a
+        differently-associated segmented sum.
+        """
+        host = np.add.reduceat(
+            self.to_numpy(array), np.asarray(starts, dtype=np.intp), axis=axis
+        )
+        return self.asarray(host)
+
+    def errstate(self):
+        """Context guard for the kernels' masked-lane garbage math."""
+        return contextlib.nullcontext()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: plain NumPy, zero-overhead, reference
+    semantics. Every method is the literal pre-seam operation, so
+    results are bitwise identical to the engine before the backend
+    layer existed."""
+
+    name = "numpy"
+    xp = np
+    supports_scatter = True
+
+    def asarray(self, array) -> np.ndarray:
+        return np.asarray(array, dtype=float)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array, dtype=float)
+
+    def add_reduceat(self, array, starts, axis: int = -1) -> np.ndarray:
+        return np.add.reduceat(array, starts, axis=axis)
+
+    def errstate(self):
+        return np.errstate(all="ignore")
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA arrays through CuPy's numpy-compatible namespace.
+
+    Instantiation imports ``cupy`` and runs a one-element smoke
+    computation (an importable CuPy with no usable device raises at
+    first kernel launch, not at import) so auto-detection can fall back
+    cleanly on driverless machines. ``add_reduceat`` uses the base
+    class's host round-trip: CuPy has no ``ufunc.reduceat``.
+    """
+
+    name = "cupy"
+    supports_scatter = True
+
+    def __init__(self):
+        cupy = importlib.import_module("cupy")
+        float(cupy.asarray([1.0]).sum())  # device probe, raises if unusable
+        self.xp = cupy
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, np.ndarray):
+            return np.asarray(array, dtype=float)
+        return np.asarray(self.xp.asnumpy(array), dtype=float)
+
+
+class MLXBackend(ArrayBackend):
+    """Apple-silicon arrays through ``mlx.core``.
+
+    MLX is lazily evaluated; :meth:`to_numpy` forces evaluation at the
+    host boundary. Like CuPy, instantiation runs a smoke computation so
+    detection fails fast on unsupported hardware.
+    """
+
+    name = "mlx"
+
+    def __init__(self):
+        mx = importlib.import_module("mlx.core")
+        float(mx.array([1.0]).sum())  # device probe
+        self.xp = mx
+
+    def asarray(self, array):
+        return self.xp.array(np.asarray(array, dtype=float))
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, np.ndarray):
+            return np.asarray(array, dtype=float)
+        return np.array(array, dtype=float)
+
+
+# -- registry and the active backend ----------------------------------------
+#
+# Factories are registered rather than instances so importing this
+# module costs nothing when an accelerator library is absent: a backend
+# is constructed (and its import attempted) only when asked for, and a
+# failed construction marks it unavailable for the rest of the process.
+
+_registry_lock = threading.Lock()
+_factories: Dict[str, type] = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+    "mlx": MLXBackend,
+}
+_instances: Dict[str, ArrayBackend] = {}
+_failed: Dict[str, str] = {}
+
+_active: ArrayBackend = NumpyBackend()
+_instances["numpy"] = _active
+
+
+def register_array_backend(
+    name: str, factory, replace: bool = False
+) -> None:
+    """Register an :class:`ArrayBackend` factory under ``name``.
+
+    ``factory`` is any zero-argument callable returning an
+    :class:`ArrayBackend` (typically the class itself); construction —
+    and therefore any accelerator import — is deferred until the
+    backend is first requested. The plug-in seam tests use to exercise
+    the non-NumPy code paths without an accelerator present.
+    """
+    if not name:
+        raise ConfigurationError("array backend must carry a non-empty name")
+    with _registry_lock:
+        if name in _factories and not replace:
+            raise ConfigurationError(
+                f"array backend {name!r} is already registered; pass "
+                "replace=True to override"
+            )
+        _factories[name] = factory
+        _instances.pop(name, None)
+        _failed.pop(name, None)
+
+
+def _instantiate(name: str) -> Optional[ArrayBackend]:
+    """Build (or fetch) the backend instance; None when unavailable."""
+    with _registry_lock:
+        instance = _instances.get(name)
+        if instance is not None:
+            return instance
+        if name in _failed:
+            return None
+        factory = _factories.get(name)
+    if factory is None:
+        return None
+    try:
+        instance = factory()
+    except Exception as exc:  # missing module, no device, broken driver
+        with _registry_lock:
+            _failed[name] = f"{type(exc).__name__}: {exc}"
+        return None
+    with _registry_lock:
+        return _instances.setdefault(name, instance)
+
+
+def available_array_backends() -> Dict[str, bool]:
+    """Name -> availability for every registered backend.
+
+    Probing constructs each backend once (importing its library); the
+    result is cached, so this is cheap to call repeatedly. The NumPy
+    entry is always ``True``.
+    """
+    with _registry_lock:
+        names = list(_factories)
+    return {name: _instantiate(name) is not None for name in names}
+
+
+def detect_array_backend() -> ArrayBackend:
+    """The best available backend: CuPy, then MLX, then NumPy.
+
+    This is what ``array_backend="auto"`` resolves to. Never raises —
+    NumPy is the unconditional floor.
+    """
+    for name in ARRAY_BACKEND_NAMES:
+        instance = _instantiate(name)
+        if instance is not None:
+            return instance
+    return _instantiate("numpy")  # pragma: no cover - numpy never fails
+
+
+def get_array_backend(name: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Resolve a backend by name (``"auto"`` detects) or pass through.
+
+    Raises :class:`~repro.errors.ConfigurationError` for an unknown
+    name or a known backend whose library is not importable/usable on
+    this machine — asking for ``"cupy"`` explicitly on a CPU-only box
+    is an error, asking for ``"auto"`` is not.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    if name == "auto":
+        return detect_array_backend()
+    with _registry_lock:
+        known = name in _factories
+        failure = _failed.get(name)
+    if not known:
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; registered: "
+            f"{sorted(_factories)} (or 'auto')"
+        )
+    instance = _instantiate(name)
+    if instance is None:
+        with _registry_lock:
+            failure = _failed.get(name, "unavailable")
+        raise ConfigurationError(
+            f"array backend {name!r} is not usable on this machine "
+            f"({failure}); use 'auto' for detection with NumPy fallback"
+        )
+    return instance
+
+
+def active_array_backend() -> ArrayBackend:
+    """The backend the kernels are currently routed through."""
+    return _active
+
+
+def set_array_backend(backend: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Switch the process-global active backend; returns it."""
+    global _active
+    _active = get_array_backend(backend)
+    return _active
+
+
+@contextlib.contextmanager
+def use_array_backend(
+    backend: Union[str, ArrayBackend, None],
+) -> Iterator[ArrayBackend]:
+    """Scope the active backend to a ``with`` block (``None`` = no-op).
+
+    The runtime's :class:`~repro.runtime.context.ExecutionContext`
+    wraps every dispatch in this, so a context configured with
+    ``array_backend="cupy"`` cannot leak device routing into sibling
+    contexts that never asked for it.
+    """
+    global _active
+    if backend is None:
+        yield _active
+        return
+    previous = _active
+    _active = get_array_backend(backend)
+    try:
+        yield _active
+    finally:
+        _active = previous

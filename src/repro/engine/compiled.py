@@ -45,6 +45,7 @@ import numpy as np
 
 from ..circuit.tree import RLCTree
 from ..errors import ReductionError, TopologyError
+from .backend import active_array_backend, get_array_backend
 
 __all__ = [
     "CompiledTopology",
@@ -57,6 +58,37 @@ __all__ = [
     "lookup_topology",
     "topology_cache_info",
 ]
+
+
+#: The host backend the level sweeps fall back to when the active
+#: backend's namespace cannot scatter in place (see ``_sweep_ops``).
+_HOST = get_array_backend("numpy")
+
+
+def _sweep_ops(ops):
+    """The backend a topology sweep's level loop runs on.
+
+    The sweeps are gather/scatter bound (``out[..., idx] = ...`` per
+    level), so they need a namespace with NumPy-style in-place fancy
+    indexing. The active backend qualifies when it declares
+    ``supports_scatter`` (NumPy itself, CuPy); otherwise the loop runs
+    on host NumPy and only the result crosses to the device — the
+    elementwise metric kernel downstream is where an accelerator earns
+    its keep anyway.
+    """
+    return ops if ops.supports_scatter else _HOST
+
+
+def _ingest(ops, sweep, array):
+    """Bring ``array`` into the sweep backend's array type."""
+    if sweep is ops:
+        return ops.asarray(array)
+    return sweep.asarray(ops.to_numpy(array))
+
+
+def _emit(ops, sweep, array):
+    """Return a sweep result in the *active* backend's array type."""
+    return array if sweep is ops else ops.asarray(array)
 
 
 def topology_fingerprint(tree: RLCTree) -> Tuple:
@@ -197,17 +229,22 @@ class CompiledTopology:
         segment-sum per level, deepest first — additions only, exactly
         the Appendix's postorder pass.
         """
+        ops = active_array_backend()
+        sweep = _sweep_ops(ops)
+        xp = sweep.xp
         if self.is_chain:
             # Reverse running sum. Bitwise identical to the level loop:
             # both form acc[k] = w[k] (+) acc[k+1] one partial sum at a
             # time, and IEEE addition is commutative, so the operand
             # order difference (accumulator left vs right) cannot change
             # a single bit.
-            w = np.asarray(weights, dtype=float)
-            return np.ascontiguousarray(
-                np.cumsum(w[..., ::-1], axis=-1)[..., ::-1]
+            w = _ingest(ops, sweep, weights)
+            return _emit(
+                ops,
+                sweep,
+                xp.ascontiguousarray(xp.cumsum(w[..., ::-1], axis=-1)[..., ::-1]),
             )
-        acc = np.array(weights, dtype=float, copy=True)
+        acc = xp.array(_ingest(ops, sweep, weights), copy=True)
         for group in self.levels[:0:-1]:  # deepest level down to level 2
             # Sibling segments tile the level (starts[0] == 0, ends
             # chain to nodes.size), so reduceat sums each parent's
@@ -215,10 +252,10 @@ class CompiledTopology:
             # segmented sum would carry absolute error at the scale of
             # the *level* total — catastrophic for a tiny subtree next
             # to large siblings.
-            acc[..., group.parents] += np.add.reduceat(
+            acc[..., group.parents] += sweep.add_reduceat(
                 acc[..., group.nodes], group.starts, axis=-1
             )
-        return acc
+        return _emit(ops, sweep, acc)
 
     def descend(self, contrib: np.ndarray) -> np.ndarray:
         """Root-to-node prefix sums of ``contrib`` (``Cal_Summations``).
@@ -226,17 +263,20 @@ class CompiledTopology:
         ``out[i] = out[parent(i)] + contrib[i]`` with the root
         contributing zero; one gather + add per level, shallow first.
         """
-        contrib = np.asarray(contrib, dtype=float)
+        ops = active_array_backend()
+        sweep = _sweep_ops(ops)
+        xp = sweep.xp
+        contrib = _ingest(ops, sweep, contrib)
         if self.is_chain:
             # Plain running sum — the level loop's exact association
             # (accumulator + contrib, one element per step).
-            return np.cumsum(contrib, axis=-1)
+            return _emit(ops, sweep, xp.cumsum(contrib, axis=-1))
         n = self.size
-        out = np.zeros(contrib.shape[:-1] + (n + 1,))
+        out = xp.zeros(contrib.shape[:-1] + (n + 1,))
         for group in self.levels:
             idx = group.nodes
             out[..., idx] = out[..., self.parent[idx]] + contrib[..., idx]
-        return out[..., :n]
+        return _emit(ops, sweep, out[..., :n])
 
     def descend2(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
         """Prefix sums of two addends with the dict sweep's association.
@@ -245,16 +285,19 @@ class CompiledTopology:
         the exact floating-point grouping of
         :func:`repro.analysis.moments.weighted_path_sums`.
         """
-        first = np.asarray(first, dtype=float)
-        second = np.asarray(second, dtype=float)
+        ops = active_array_backend()
+        sweep = _sweep_ops(ops)
+        xp = sweep.xp
+        first = _ingest(ops, sweep, first)
+        second = _ingest(ops, sweep, second)
         n = self.size
-        out = np.zeros(first.shape[:-1] + (n + 1,))
+        out = xp.zeros(first.shape[:-1] + (n + 1,))
         for group in self.levels:
             idx = group.nodes
             out[..., idx] = (
                 out[..., self.parent[idx]] + first[..., idx]
             ) + second[..., idx]
-        return out[..., :n]
+        return _emit(ops, sweep, out[..., :n])
 
     # -- structural queries ------------------------------------------------
 
@@ -417,9 +460,14 @@ class CompiledTree:
 
     def second_order_sums(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(T_RC, T_LC)`` arrays at every node (eqs. 26-27), O(n)."""
+        # Value vectors cross into the active backend before mixing with
+        # the (possibly device-resident) load sums; identity for NumPy.
+        ops = active_array_backend()
         loads = self.capacitive_loads()
-        t_rc = self.topology.descend(self.resistance * loads)
-        t_lc = self.topology.descend(self.inductance * loads)
+        r = ops.asarray(self.resistance)
+        l = ops.asarray(self.inductance)
+        t_rc = self.topology.descend(r * loads)
+        t_lc = self.topology.descend(l * loads)
         return t_rc, t_lc
 
     def weighted_path_sums(
@@ -431,10 +479,12 @@ class CompiledTree:
         subtree totals of both weight sets, then one downward pass with
         two multiplications per section.
         """
+        ops = active_array_backend()
         sub_r = self.topology.accumulate(resistance_weights)
         sub_l = self.topology.accumulate(inductance_weights)
         return self.topology.descend2(
-            self.resistance * sub_r, self.inductance * sub_l
+            ops.asarray(self.resistance) * sub_r,
+            ops.asarray(self.inductance) * sub_l,
         )
 
     def exact_moments(self, order: int) -> np.ndarray:
@@ -443,14 +493,19 @@ class CompiledTree:
         :func:`repro.analysis.moments.exact_moments`."""
         if order < 0:
             raise ReductionError("moment order must be non-negative")
+        ops = active_array_backend()
         n = self.size
         rows = [np.ones(n)]
         previous = rows[0]
         before_previous = np.zeros(n)
         for _ in range(order):
-            current = -self.weighted_path_sums(
-                self.capacitance * previous,
-                self.capacitance * before_previous,
+            # Recurrence state is kept on host (identity for NumPy): the
+            # moments contract is a stacked host array either way.
+            current = -ops.to_numpy(
+                self.weighted_path_sums(
+                    self.capacitance * previous,
+                    self.capacitance * before_previous,
+                )
             )
             rows.append(current)
             before_previous, previous = previous, current

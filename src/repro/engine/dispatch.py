@@ -95,6 +95,12 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "BlockRef",
     "SharedBlock",
+    "Arena",
+    "ArenaRef",
+    "ArenaView",
+    "get_arena",
+    "release_arenas",
+    "arena_info",
     "TreeUnit",
     "BatchShard",
     "SupervisionPolicy",
@@ -112,11 +118,41 @@ __all__ = [
     "dispatch_telemetry",
     "reset_dispatch_telemetry",
     "shared_memory_available",
+    "effective_cpu_count",
 ]
 
 #: Default per-shard wall-clock budget (seconds) when the caller does
 #: not configure one. ``None`` disables the deadline entirely.
 DEFAULT_SHARD_TIMEOUT = 60.0
+
+
+def effective_cpu_count() -> int:
+    """CPUs this *process* may actually run on, never less than 1.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup/affinity restriction (CI runners, containers) it can both
+    overcount (machine has 64 cores, the job gets 2) and — through
+    wrappers that cache a stale value — undercount. Preference order:
+    ``os.process_cpu_count()`` (3.13+, affinity-aware by definition),
+    the ``sched_getaffinity`` mask, then ``os.cpu_count()``. Benchmarks
+    key their speedup gates on this so a "cores: 1" reading on a
+    multi-core box can no longer silently disable them.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        try:
+            count = counter()
+            if count:
+                return max(1, count)
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    try:
+        affinity = os.sched_getaffinity(0)
+        if affinity:
+            return max(1, len(affinity))
+    except (AttributeError, OSError):  # pragma: no cover - no affinity API
+        pass
+    return max(1, os.cpu_count() or 1)
 
 
 # -- supervision policy ------------------------------------------------------
@@ -171,6 +207,9 @@ def _fresh_telemetry() -> Dict[str, Any]:
         "worker_deaths": 0,
         "serial_fallbacks": 0,
         "exhausted": 0,
+        "bytes_shipped": 0,
+        "bytes_returned": 0,
+        "arena_hits": 0,
         "worker_failures": {},
     }
 
@@ -199,7 +238,11 @@ def dispatch_telemetry() -> Dict[str, Any]:
     ``worker_deaths`` (``BrokenProcessPool`` incidents),
     ``serial_fallbacks`` (shards that exhausted retries and ran in the
     parent), ``exhausted`` (shards that exhausted retries with serial
-    fallback disabled) and ``worker_failures`` (pid → failure count for
+    fallback disabled), ``bytes_shipped``/``bytes_returned`` (pickle
+    transport actually paid by dispatched work units — arena/shared
+    traffic counts as zero, which is the point of it), ``arena_hits``
+    (dispatch calls that reused a live arena segment instead of
+    allocating) and ``worker_failures`` (pid → failure count for
     workers observed dead at rebuild time).
     """
     with _telemetry_lock:
@@ -295,16 +338,253 @@ def _attach_block(ref: BlockRef):
     Pool workers run one task at a time, so the brief module-level patch
     cannot race another attach in the same process.
     """
+    segment = _attach_segment(ref.name)
+    view = np.ndarray(ref.shape, dtype=float, buffer=segment.buf)
+    return segment, view
+
+
+def _attach_segment(name: str):
+    """Attach to a named segment without a resource-tracker claim."""
     from multiprocessing import resource_tracker
 
     original_register = resource_tracker.register
     resource_tracker.register = lambda name, rtype: None
     try:
-        segment = _shared_memory.SharedMemory(name=ref.name)
+        return _shared_memory.SharedMemory(name=name)
     finally:
         resource_tracker.register = original_register
-    view = np.ndarray(ref.shape, dtype=float, buffer=segment.buf)
-    return segment, view
+
+
+# -- persistent shared-memory arenas ----------------------------------------
+#
+# A SharedBlock pays segment create + copy + unlink on *every* dispatch
+# call — measurable overhead exactly where the sharded path is supposed
+# to win. An Arena is the amortized alternative: one parent-owned
+# segment per purpose ("batch", "many"), reused across calls, grown
+# geometrically when a call needs more room and released only at
+# context close / interpreter exit. Work units carry ArenaView
+# descriptors (segment name + byte offset + shape) instead of arrays,
+# so steady-state dispatch ships a few hundred descriptor bytes while
+# values *and* results travel through shared memory — zero-copy both
+# directions.
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """Identity of one arena segment: its shm name + growth generation.
+
+    The generation increments every time the arena outgrows its segment
+    and moves to a fresh one (fresh *name* — attaching is by name, so a
+    stale cached attachment can never alias a new segment). Workers and
+    pool rebuilds are oblivious: every task attaches by the name in the
+    views it received, whatever generation the arena is on now.
+    """
+
+    name: str
+    generation: int
+
+
+@dataclass(frozen=True)
+class ArenaView:
+    """Picklable window into an arena: ``shape`` float64s at ``offset``."""
+
+    ref: ArenaRef
+    offset: int
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return 8 * count
+
+
+class Arena:
+    """One parent-owned, grow-only shared-memory scratch segment.
+
+    Lifecycle per dispatch call: ``begin(nbytes)`` resets the bump
+    cursor and guarantees capacity (growing — never shrinking — by at
+    least 2x so reuse converges after a few calls), then ``allocate()``
+    carves float64 regions off the cursor, each returning the live
+    parent-side ndarray view plus the picklable :class:`ArenaView` the
+    workers attach through. The segment persists across calls, pool
+    rebuilds and worker deaths; only :meth:`close` (via
+    :func:`release_arenas`, the runtime context or the atexit hook)
+    unlinks it.
+
+    Not thread-safe — same discipline as the pool globals: one dispatch
+    call in flight per process.
+    """
+
+    def __init__(self, tag: str):
+        if _shared_memory is None:  # pragma: no cover - gated by caller
+            raise ReproError("shared memory is unavailable on this platform")
+        self.tag = tag
+        self._shm = None
+        self._capacity = 0
+        self._cursor = 0
+        self._generation = 0
+
+    @property
+    def name(self) -> Optional[str]:
+        return None if self._shm is None else self._shm.name
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def begin(self, nbytes: int) -> None:
+        """Start a dispatch call: reset the cursor, ensure capacity.
+
+        Growing swaps to a *fresh* segment (new name, generation + 1)
+        and unlinks the old one — parent-side views from earlier calls
+        are invalidated, which is why allocation only happens between
+        ``begin`` and the end of the same dispatch call.
+        """
+        self._cursor = 0
+        if nbytes <= self._capacity and self._shm is not None:
+            _note("arena_hits")
+            return
+        size = max(nbytes, 2 * self._capacity, 4096)
+        old = self._shm
+        self._shm = _shared_memory.SharedMemory(create=True, size=size)
+        # The OS may round the segment up; advertise what was asked for.
+        self._capacity = size
+        self._generation += 1
+        if old is not None:
+            try:
+                old.close()
+                old.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def allocate(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, ArenaView]:
+        """Carve a float64 region off the cursor.
+
+        Returns ``(parent_view, descriptor)``: the ndarray is backed by
+        the live segment (writes are visible to attached workers
+        immediately), the descriptor is what travels in a work unit.
+        """
+        view = ArenaView(
+            ref=ArenaRef(name=self._shm.name, generation=self._generation),
+            offset=self._cursor,
+            shape=tuple(int(d) for d in shape),
+        )
+        end = self._cursor + view.nbytes
+        if self._shm is None or end > self._capacity:
+            raise ReproError(
+                f"arena {self.tag!r} allocation of {view.nbytes} bytes at "
+                f"offset {self._cursor} exceeds the {self._capacity}-byte "
+                "reservation; call begin() with the full call footprint"
+            )
+        self._cursor = end
+        array = np.ndarray(
+            view.shape, dtype=float, buffer=self._shm.buf, offset=view.offset
+        )
+        return array, view
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        shm = self._shm
+        self._shm = None
+        self._capacity = 0
+        self._cursor = 0
+        if shm is None:
+            return
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"Arena(tag={self.tag!r}, name={self.name!r}, "
+            f"capacity={self._capacity}, generation={self._generation})"
+        )
+
+
+#: Parent-side arena registry, keyed by purpose tag. Never populated
+#: inside workers (the initializer clears it after fork).
+_arenas: Dict[str, Arena] = {}
+
+
+def get_arena(tag: str) -> Arena:
+    """The persistent arena for ``tag``, created on first use."""
+    arena = _arenas.get(tag)
+    if arena is None:
+        arena = Arena(tag)
+        _arenas[tag] = arena
+    return arena
+
+
+def release_arenas() -> None:
+    """Close and unlink every live arena (idempotent)."""
+    for arena in list(_arenas.values()):
+        try:
+            arena.close()
+        except Exception:  # pragma: no cover - last-resort cleanup
+            pass
+    _arenas.clear()
+
+
+def arena_info() -> Dict[str, Dict[str, Any]]:
+    """Tag → ``{"capacity", "generation", "name"}`` of the live arenas."""
+    return {
+        tag: {
+            "capacity": arena.capacity,
+            "generation": arena.generation,
+            "name": arena.name,
+        }
+        for tag, arena in _arenas.items()
+    }
+
+
+#: Worker-side cache of attached arena segments, name → SharedMemory.
+#: Bounded: an arena that grew leaves its old name behind forever, so
+#: stale attachments are evicted oldest-first past the cap.
+_ARENA_ATTACH_LIMIT = 8
+_arena_attachments: "Dict[str, Any]" = {}
+
+
+def _attach_view(view: ArenaView) -> np.ndarray:
+    """The ndarray behind an :class:`ArenaView`, wherever we run.
+
+    In the parent (including the supervised serial-fallback path) the
+    live arena's own buffer is used directly. In a worker the segment
+    is attached by name once and cached for the process's lifetime —
+    re-attachment after a pool rebuild is automatic because fresh
+    workers start with an empty cache. The cache is evicted
+    oldest-first so segments orphaned by arena growth don't pin
+    /dev/shm mappings forever (dicts iterate in insertion order).
+    """
+    for arena in _arenas.values():
+        if arena.name == view.ref.name:
+            return np.ndarray(
+                view.shape,
+                dtype=float,
+                buffer=arena._shm.buf,
+                offset=view.offset,
+            )
+    segment = _arena_attachments.get(view.ref.name)
+    if segment is None:
+        segment = _attach_segment(view.ref.name)
+        while len(_arena_attachments) >= _ARENA_ATTACH_LIMIT:
+            stale_name = next(iter(_arena_attachments))
+            stale = _arena_attachments.pop(stale_name)
+            try:
+                stale.close()
+            except Exception:  # pragma: no cover - mid-teardown close
+                pass
+        _arena_attachments[view.ref.name] = segment
+    return np.ndarray(
+        view.shape, dtype=float, buffer=segment.buf, offset=view.offset
+    )
 
 
 # -- work units -------------------------------------------------------------
@@ -328,6 +608,14 @@ def _resolve_topology(key: Tuple, payload: bytes) -> CompiledTopology:
 class TreeUnit:
     """One tree of an :func:`~repro.engine.sharded.analyze_many` call.
 
+    Values travel one of two ways: ``values`` names a ``(3, n)`` arena
+    region (R/L/C rows, staged by the parent just before submission)
+    and the per-element vectors are ``None``, or — without shared
+    memory — the vectors ship inline and ``values`` is ``None``. When
+    ``out`` is set the worker writes its metric rows into that
+    ``(len(out_fields), n)`` arena region instead of pickling arrays
+    home, returning only a tiny acknowledgement body.
+
     ``attempt`` is stamped by the supervisor on every (re-)dispatch so
     failure descriptions can say which try failed; ``fault`` carries an
     optional process-level fault spec (duck-typed, see
@@ -338,24 +626,32 @@ class TreeUnit:
     index: int
     key: Tuple
     payload: bytes = field(repr=False)
-    resistance: np.ndarray
-    inductance: np.ndarray
-    capacitance: np.ndarray
+    resistance: Optional[np.ndarray]
+    inductance: Optional[np.ndarray]
+    capacitance: Optional[np.ndarray]
     settle_band: float
     select: Optional[Tuple[str, ...]]
     check_domain: bool = True
     attempt: int = 0
     fault: Optional[Any] = None
+    values: Optional[ArenaView] = None
+    out: Optional[ArenaView] = None
+    out_fields: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
 class BatchShard:
     """One contiguous scenario range of a sharded batch.
 
-    ``block`` is either a :class:`BlockRef` into the full ``(S, 3, n)``
-    shared block (the worker reads rows ``start:stop``) or the shard's
-    own ``(stop - start, 3, n)`` slice shipped inline when shared memory
-    is unavailable or the dispatch runs serially. ``inject`` names a
+    ``block`` is an :class:`ArenaView` or :class:`BlockRef` into the
+    full ``(S, 3, n)`` shared value block (the worker reads rows
+    ``start:stop``), or the shard's own ``(stop - start, 3, n)`` slice
+    shipped inline when shared memory is unavailable or the dispatch
+    runs serially. With ``out`` set the worker writes each computed
+    metric into its ``[:, start:stop, :]`` slice of that
+    ``(len(out_fields), S, n)`` arena region — sibling shards write
+    disjoint slices, so no coordination is needed — and returns only an
+    acknowledgement body instead of pickled arrays. ``inject`` names a
     value-level fault to raise instead of evaluating — the hook the
     robustness fault-injection suite uses to exercise per-shard error
     capture. ``fault`` is the *process-level* counterpart (crash, hang,
@@ -367,7 +663,7 @@ class BatchShard:
     index: int
     key: Tuple
     payload: bytes = field(repr=False)
-    block: Union[BlockRef, np.ndarray]
+    block: Union[BlockRef, "ArenaView", np.ndarray]
     start: int
     stop: int
     settle_band: float
@@ -375,6 +671,8 @@ class BatchShard:
     inject: Optional[str] = None
     attempt: int = 0
     fault: Optional[Any] = None
+    out: Optional[ArenaView] = None
+    out_fields: Optional[Tuple[str, ...]] = None
 
 
 def _metric_payload(metrics: MetricArrays) -> Dict[str, Optional[np.ndarray]]:
@@ -443,9 +741,12 @@ def run_tree_unit(unit: TreeUnit) -> Tuple[int, str, Dict[str, Any]]:
     try:
         _apply_process_fault(unit.fault, unit.attempt)
         topology = _resolve_topology(unit.key, unit.payload)
-        compiled = CompiledTree(
-            topology, unit.resistance, unit.inductance, unit.capacitance
-        )
+        if unit.values is not None:
+            rows = _attach_view(unit.values)
+            r, l, c = rows[0], rows[1], rows[2]
+        else:
+            r, l, c = unit.resistance, unit.inductance, unit.capacitance
+        compiled = CompiledTree(topology, r, l, c)
         t_rc, t_lc = compiled.second_order_sums()
         if unit.check_domain and not fast_path_eligible(t_rc, t_lc):
             from ..errors import ElementValueError
@@ -458,6 +759,11 @@ def run_tree_unit(unit: TreeUnit) -> Tuple[int, str, Dict[str, Any]]:
         metrics = metrics_from_sums(
             t_rc, t_lc, unit.settle_band, select=unit.select
         )
+        if unit.out is not None:
+            out = _attach_view(unit.out)
+            for row, name in enumerate(unit.out_fields):
+                out[row, :] = getattr(metrics, name)
+            return unit.index, "ok", {"arena": True}
         return unit.index, "ok", _metric_payload(metrics)
     except Exception as exc:
         return unit.index, "err", _describe_failure(
@@ -477,6 +783,8 @@ def run_batch_shard(shard: BatchShard) -> Tuple[int, str, Dict[str, Any]]:
         if isinstance(shard.block, BlockRef):
             segment, block = _attach_block(shard.block)
             rows = block[shard.start:shard.stop]
+        elif isinstance(shard.block, ArenaView):
+            rows = _attach_view(shard.block)[shard.start:shard.stop]
         else:
             rows = shard.block
         r, l, c = rows[:, 0, :], rows[:, 1, :], rows[:, 2, :]
@@ -486,6 +794,11 @@ def run_batch_shard(shard: BatchShard) -> Tuple[int, str, Dict[str, Any]]:
         metrics = metrics_from_sums(
             t_rc, t_lc, shard.settle_band, select=shard.select
         )
+        if shard.out is not None:
+            out = _attach_view(shard.out)
+            for row, name in enumerate(shard.out_fields):
+                out[row, shard.start:shard.stop] = getattr(metrics, name)
+            return shard.index, "ok", {"arena": True}
         return shard.index, "ok", _metric_payload(metrics)
     except Exception as exc:
         return shard.index, "err", _describe_failure(
@@ -519,6 +832,11 @@ def _init_worker(barrier) -> None:
     _WORKER_BARRIER = barrier
     _IN_WORKER = True
     clear_topology_cache()
+    # Workers never own arenas: drop any fork-inherited parent registry
+    # so every ArenaView resolves through attach-by-name (the path that
+    # stays correct across arena growth), with a per-process cache.
+    _arenas.clear()
+    _arena_attachments.clear()
 
 
 def _pool_context():
@@ -694,6 +1012,7 @@ def _atexit_cleanup() -> None:
             block.close()
         except Exception:  # pragma: no cover - last-resort cleanup
             pass
+    release_arenas()
     shutdown_pool()
 
 
@@ -732,6 +1051,7 @@ def run_supervised(
     worker_fn,
     workers: int,
     policy: Optional[SupervisionPolicy] = None,
+    stage=None,
 ) -> List[Tuple[int, str, Dict[str, Any]]]:
     """Run work units through the pool under the supervision policy.
 
@@ -760,6 +1080,12 @@ def run_supervised(
     Value-level failures — a unit whose evaluation raises — are *not*
     retried: the worker already captured them as deterministic ``"err"``
     outcomes, and re-running a deterministic failure buys nothing.
+
+    ``stage`` is the pipelining hook: called with each unit exactly once,
+    immediately before its *first* dispatch. Callers that stream values
+    through a shared arena stage each shard's rows there — so copying
+    shard k+1's input overlaps the workers computing shards <= k, and a
+    retry (whose data already sits in the arena) never re-stages.
     """
     if policy is None:
         policy = SupervisionPolicy()
@@ -768,6 +1094,12 @@ def run_supervised(
     if len(pending) != len(units):
         raise ConfigurationError("work unit indices must be unique")
     attempts: Dict[int, int] = {index: 0 for index in pending}
+    staged: set = set()
+
+    def _ensure_staged(index: int, unit: Any) -> None:
+        if stage is not None and index not in staged:
+            staged.add(index)
+            stage(unit)
     results: Dict[int, Tuple[int, str, Dict[str, Any]]] = {}
     round_no = 0
     # A pool break with several shards in flight is unattributable: any
@@ -783,6 +1115,7 @@ def run_supervised(
             # No pool on this platform (or none anymore): in-process.
             for index in sorted(pending):
                 unit = pending.pop(index)
+                _ensure_staged(index, unit)
                 results[index] = worker_fn(
                     replace(unit, attempt=attempts[index])
                 )
@@ -807,6 +1140,7 @@ def run_supervised(
             batch_processes: Dict[int, Any] = {}
             for index in batch:
                 unit = replace(pending[index], attempt=attempts[index])
+                _ensure_staged(index, unit)
                 try:
                     future = pool.submit(worker_fn, unit)
                 except Exception:
@@ -883,6 +1217,7 @@ def run_supervised(
                 _note("serial_fallbacks")
                 # Same code path, parent process: bitwise identical, and
                 # the _IN_WORKER guard disarms any injected fault.
+                _ensure_staged(index, unit)
                 results[index] = worker_fn(
                     replace(unit, attempt=attempts[index])
                 )

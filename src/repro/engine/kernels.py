@@ -31,8 +31,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..analysis.fitting import scaled_delay, scaled_rise
+from ..analysis.fitting import DELAY_FIT_COEFFICIENTS, RISE_FIT_COEFFICIENTS
 from ..errors import ConfigurationError, ReductionError
+from .backend import active_array_backend
 
 __all__ = [
     "MetricArrays",
@@ -60,6 +61,28 @@ METRIC_NAMES = (
 #: overshoot — the same default as
 #: :func:`repro.analysis.oscillation.overshoot_train`.
 OVERSHOOT_THRESHOLD = 1e-4
+
+
+def _scaled_delay(xp, zeta):
+    """Eq. 33 through the array-backend namespace.
+
+    The same expression as :func:`repro.analysis.fitting.scaled_delay`
+    (same coefficients, same association), evaluated with ``xp`` ops so
+    device arrays never cross into host NumPy mid-kernel. With the NumPy
+    backend every operation is the scalar helper's own, so results are
+    bitwise identical — pinned by the backend equivalence suite.
+    """
+    a, b, c = DELAY_FIT_COEFFICIENTS
+    return a * xp.exp(-zeta / b) + c * zeta
+
+
+def _scaled_rise(xp, zeta):
+    """Eq. 34 (refit) through the array-backend namespace; the exact
+    expression of :func:`repro.analysis.fitting.scaled_rise`."""
+    n0, n1, n2, n3, d1, d2 = RISE_FIT_COEFFICIENTS
+    numerator = n0 + zeta * (n1 + zeta * (n2 + zeta * n3))
+    denominator = 1.0 + zeta * (d1 + zeta * d2)
+    return numerator / denominator
 
 
 def validate_settle_band(settle_band: float) -> None:
@@ -131,9 +154,16 @@ def metrics_from_sums(
     silently nonsensical settling times (``>= 1``).
     """
     validate_settle_band(settle_band)
-    t_rc = np.asarray(t_rc, dtype=float)
-    t_lc = np.asarray(t_lc, dtype=float)
-    t_rc, t_lc = np.broadcast_arrays(t_rc, t_lc)
+    # All array math below goes through the active backend's numpy-like
+    # namespace. For the default NumPy backend ``xp is np`` and the
+    # transfer methods are ``np.asarray``, so this is byte-for-byte the
+    # pre-backend kernel; device backends compute on-device and cross
+    # back to host at the return below.
+    ops = active_array_backend()
+    xp = ops.xp
+    t_rc = ops.asarray(t_rc)
+    t_lc = ops.asarray(t_lc)
+    t_rc, t_lc = xp.broadcast_arrays(t_rc, t_lc)
     neg_log_band = -math.log(settle_band)
 
     if select is None:
@@ -150,7 +180,7 @@ def metrics_from_sums(
     need_model = bool(want & {"delay_50", "rise_time", "overshoot", "settling"})
     need_ring = bool(want & {"overshoot", "settling"})
 
-    with np.errstate(all="ignore"):
+    with ops.errstate():
         rc = t_lc == 0.0
 
         # Equivalent model parameters (eqs. 29-30). ``zeta`` reports the
@@ -159,36 +189,36 @@ def metrics_from_sums(
         # is what every metric formula consumes — kept separate so both
         # match their scalar twins bit for bit.
         if need_model or want & {"zeta", "omega_n"}:
-            root_lc = np.sqrt(t_lc)
+            root_lc = xp.sqrt(t_lc)
         if "zeta" in want:
-            out["zeta"] = np.where(rc, np.inf, 0.5 * t_rc / root_lc)
+            out["zeta"] = xp.where(rc, np.inf, 0.5 * t_rc / root_lc)
         if need_model or "omega_n" in want:
-            omega_n = np.where(rc, np.inf, 1.0 / root_lc)
+            omega_n = xp.where(rc, np.inf, 1.0 / root_lc)
             if "omega_n" in want:
                 out["omega_n"] = omega_n
         if need_model:
-            zeta_model = 0.5 * t_rc * np.where(rc, np.nan, 1.0 / root_lc)
+            zeta_model = 0.5 * t_rc * xp.where(rc, np.nan, 1.0 / root_lc)
 
         # Delay and rise time (eqs. 33-36; RC limit: Elmore/Wyatt).
         if "delay_50" in want:
-            out["delay_50"] = np.where(
-                rc, _LN2 * t_rc, scaled_delay(zeta_model) / omega_n
+            out["delay_50"] = xp.where(
+                rc, _LN2 * t_rc, _scaled_delay(xp, zeta_model) / omega_n
             )
         if "rise_time" in want:
-            out["rise_time"] = np.where(
-                rc, _LN9 * t_rc, scaled_rise(zeta_model) / omega_n
+            out["rise_time"] = xp.where(
+                rc, _LN9 * t_rc, _scaled_rise(xp, zeta_model) / omega_n
             )
 
         if need_ring:
             # Only underdamped lanes ring (NaN compares False at RC).
             underdamped = zeta_model < 1.0
-            radical = np.sqrt(1.0 - zeta_model * zeta_model)
+            radical = xp.sqrt(1.0 - zeta_model * zeta_model)
 
         # Overshoot (eq. 39, first extremum, thresholded like
         # overshoot_train).
         if "overshoot" in want:
-            fraction = np.exp(-math.pi * zeta_model / radical)
-            out["overshoot"] = np.where(
+            fraction = xp.exp(-math.pi * zeta_model / radical)
+            out["overshoot"] = xp.where(
                 underdamped & (fraction >= overshoot_threshold), fraction, 0.0
             )
 
@@ -196,20 +226,22 @@ def metrics_from_sums(
         # monotone lanes; RC limit: single-pole band entry).
         if "settling" in want:
             per_cycle = math.pi * zeta_model / radical
-            cycles = np.maximum(np.ceil(neg_log_band / per_cycle), 1.0)
+            cycles = xp.maximum(xp.ceil(neg_log_band / per_cycle), 1.0)
             settle_ringing = cycles * math.pi / (omega_n * radical)
             slow = 1.0 / (
                 zeta_model
-                * (1.0 + np.sqrt(1.0 - 1.0 / (zeta_model * zeta_model)))
+                * (1.0 + xp.sqrt(1.0 - 1.0 / (zeta_model * zeta_model)))
             )
             settle_monotone = neg_log_band / (omega_n * slow)
-            out["settling"] = np.where(
+            out["settling"] = xp.where(
                 rc,
                 neg_log_band * t_rc,
-                np.where(underdamped, settle_ringing, settle_monotone),
+                xp.where(underdamped, settle_ringing, settle_monotone),
             )
 
-    return MetricArrays(**out)
+    # Results cross the host boundary here: MetricArrays always carries
+    # NumPy, whatever backend computed it (identity for NumPy).
+    return MetricArrays(**{name: ops.to_numpy(v) for name, v in out.items()})
 
 
 def fast_path_eligible(t_rc: np.ndarray, t_lc: np.ndarray) -> bool:

@@ -15,12 +15,15 @@ independent closed-form net evaluations per optimization sweep:
 Both follow the *compile once, ship CompiledTree + value blocks*
 protocol of :mod:`repro.engine.dispatch`: structure travels as pickled
 :class:`~repro.engine.compiled.CompiledTopology` payloads that seed each
-worker's per-process topology cache, values travel as arrays (through a
-``multiprocessing.shared_memory`` block for sharded batches), and every
-shard's metric arrays come back to be stitched together in
-deterministic input order — the evaluation itself is per-scenario
-independent elementwise math, so sharded output is **bitwise identical**
-to the serial engine.
+worker's per-process topology cache, values travel through persistent
+parent-owned shared-memory *arenas* (one per entry point, reused and
+grown across calls — see :class:`repro.engine.dispatch.Arena`), and
+workers write their metric rows straight into a shared result block, so
+neither values nor results cross the pickle boundary when shared memory
+is available (each direction falls back to inline pickling when it is
+not). Results are stitched together in deterministic input order — the
+evaluation itself is per-scenario independent elementwise math, so
+sharded output is **bitwise identical** to the serial engine.
 
 Failure is per shard, not per call: a shard that raises (or a unit
 whose tree is outside the closed forms' domain) comes back as a
@@ -44,8 +47,6 @@ or stall deterministically inside the worker.
 
 from __future__ import annotations
 
-import contextlib
-import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -120,18 +121,32 @@ class ShardError:
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """A surviving shard of a partially-failed sharded batch."""
+    """A surviving shard of a partially-failed sharded batch.
+
+    ``bytes_shipped``/``bytes_returned`` record the pickle transport
+    this shard actually paid (payload + any inline value slice out,
+    pickled metric arrays back) — both ~0 on the arena path, which is
+    how the zero-copy claim stays observable per shard.
+    """
 
     shard: int
     start: int
     stop: int
     timing: BatchTiming
+    bytes_shipped: int = 0
+    bytes_returned: int = 0
 
 
 def _resolve_workers(workers: Optional[int], units: int) -> int:
-    """Effective worker count for ``units`` work units."""
+    """Effective worker count for ``units`` work units.
+
+    ``workers=None`` uses the affinity-aware
+    :func:`~repro.engine.dispatch.effective_cpu_count`, not raw
+    ``os.cpu_count()`` — in a cgroup-limited container the difference
+    decides whether parallel dispatch can possibly pay.
+    """
     if workers is None:
-        workers = os.cpu_count() or 1
+        workers = _dispatch.effective_cpu_count()
     if workers < 0:
         raise ConfigurationError(
             f"workers must be non-negative, got {workers}"
@@ -144,6 +159,7 @@ def _run_units(
     worker_fn,
     workers: int,
     supervision: Optional[_dispatch.SupervisionPolicy] = None,
+    stage=None,
 ) -> List[Tuple]:
     """Run units through the supervised pool, or serially without one.
 
@@ -153,12 +169,36 @@ def _run_units(
     crash, a hung shard, an uncreatable pool — and
     :func:`~repro.engine.dispatch.run_supervised` absorbs all of them
     (retry with pool rebuild, then serial in-process fallback).
+    ``stage`` is forwarded to the supervisor's pipelining hook; in the
+    serial path each unit is staged right before it runs.
     """
     if workers > 1:
         return _dispatch.run_supervised(
-            units, worker_fn, workers, policy=supervision
+            units, worker_fn, workers, policy=supervision, stage=stage
         )
-    return [worker_fn(unit) for unit in units]
+    out = []
+    for unit in units:
+        if stage is not None:
+            stage(unit)
+        out.append(worker_fn(unit))
+    return out
+
+
+def _selected_fields(select: Optional[Tuple[str, ...]]) -> Tuple[str, ...]:
+    """The metric fields a worker will produce, in METRIC_NAMES order."""
+    if select is None:
+        return tuple(METRIC_NAMES)
+    want = set(select) | {"t_rc", "t_lc"}
+    return tuple(name for name in METRIC_NAMES if name in want)
+
+
+def _returned_bytes(body: Dict) -> int:
+    """Pickle payload a worker's ``"ok"`` body shipped home."""
+    return sum(
+        value.nbytes
+        for value in body.values()
+        if isinstance(value, np.ndarray)
+    )
 
 
 def _fault_for(fault_plan: Any, index: int) -> Any:
@@ -201,7 +241,8 @@ def analyze_many(
 
     Each distinct topology is compiled (and pickled) exactly once in
     this process; workers seed their per-process caches from the shipped
-    payloads. ``workers=None`` uses ``os.cpu_count()``; ``workers<=1``
+    payloads. ``workers=None`` uses the affinity-aware
+    :func:`~repro.engine.dispatch.effective_cpu_count`; ``workers<=1``
     evaluates serially in-process through the same unit code path, so
     results are bitwise identical for any worker count.
 
@@ -225,16 +266,64 @@ def analyze_many(
         tree if isinstance(tree, CompiledTree) else compile_tree(tree, cache=cache)
         for tree in trees
     ]
+    workers = _resolve_workers(workers, len(compiled))
+    fields = _selected_fields(select)
+
+    # Zero-copy transport: with >1 workers and shared memory, every
+    # tree's (3, n) value rows and (F, n) metric rows live in the
+    # persistent "many" arena — units carry descriptors, values are
+    # staged per unit just before its submission, and workers write
+    # results in place instead of pickling arrays home.
+    arena = None
+    value_rows: List = []
+    out_rows: List = []
+    if workers > 1 and _dispatch.shared_memory_available():
+        try:
+            arena = _dispatch.get_arena("many")
+            footprint = sum(
+                8 * (3 + len(fields)) * ct.size for ct in compiled
+            )
+            arena.begin(footprint)
+        except (OSError, ValueError):
+            arena = None
+
     payloads: Dict[Tuple, bytes] = {}
     units = []
+    shipped = 0
     for index, ct in enumerate(compiled):
         key = topology_key(ct.topology)
         payload = payloads.get(key)
         if payload is None:
             payload = _dispatch.encode_topology(ct.topology)
             payloads[key] = payload
-        units.append(
-            _dispatch.TreeUnit(
+        shipped += len(payload)
+        if arena is not None:
+            value_host, value_view = arena.allocate((3, ct.size))
+            out_host, out_view = arena.allocate((len(fields), ct.size))
+            value_rows.append(value_host)
+            out_rows.append(out_host)
+            unit = _dispatch.TreeUnit(
+                index=index,
+                key=key,
+                payload=payload,
+                resistance=None,
+                inductance=None,
+                capacitance=None,
+                settle_band=settle_band,
+                select=select,
+                check_domain=check_domain,
+                fault=_fault_for(fault_plan, index),
+                values=value_view,
+                out=out_view,
+                out_fields=fields,
+            )
+        else:
+            shipped += (
+                ct.resistance.nbytes
+                + ct.inductance.nbytes
+                + ct.capacitance.nbytes
+            )
+            unit = _dispatch.TreeUnit(
                 index=index,
                 key=key,
                 payload=payload,
@@ -246,14 +335,40 @@ def analyze_many(
                 check_domain=check_domain,
                 fault=_fault_for(fault_plan, index),
             )
-        )
-    workers = _resolve_workers(workers, len(units))
-    raw = _run_units(units, _dispatch.run_tree_unit, workers, supervision)
+        units.append(unit)
+    _dispatch._note("bytes_shipped", shipped)
+
+    stage = None
+    if arena is not None:
+
+        def stage(unit):
+            ct = compiled[unit.index]
+            rows = value_rows[unit.index]
+            rows[0, :] = ct.resistance
+            rows[1, :] = ct.inductance
+            rows[2, :] = ct.capacitance
+
+    raw = _run_units(units, _dispatch.run_tree_unit, workers, supervision, stage)
     by_index = {index: (status, body) for index, status, body in raw}
+    returned = 0
     out: List[Union[TimingTable, ShardError]] = []
     for index, ct in enumerate(compiled):
         status, body = by_index[index]
         if status == "ok":
+            if body.get("arena"):
+                # Copy out of the arena: the region is scratch space the
+                # next dispatch call will overwrite.
+                rows = out_rows[index]
+                body = {
+                    name: (
+                        rows[fields.index(name)].copy()
+                        if name in fields
+                        else None
+                    )
+                    for name in METRIC_NAMES
+                }
+            else:
+                returned += _returned_bytes(body)
             out.append(
                 TimingTable(
                     names=ct.names,
@@ -270,6 +385,7 @@ def analyze_many(
                     **body,
                 )
             )
+    _dispatch._note("bytes_returned", returned)
     return out
 
 
@@ -352,63 +468,107 @@ def analyze_batch_sharded(
     select = None
     if metrics is not None:
         select = tuple(_metric_field(metric) for metric in metrics)
+    fields = _selected_fields(select)
     key = topology_key(compiled.topology)
     payload = _dispatch.encode_topology(compiled.topology)
-    block = np.stack([r, l, c], axis=1)  # (S, 3, n), contiguous
     slices = _shard_slices(scenarios, shards)
+    n = compiled.size
 
-    shared = None
-    use_shm = workers > 1 and _dispatch.shared_memory_available()
-    if use_shm:
+    # Zero-copy transport: the whole (S, 3, n) value block and the
+    # (F, S, n) result block live in the persistent "batch" arena.
+    # Workers read only their scenario rows and write their metric rows
+    # in place (disjoint slices, no locking), so nothing but the tiny
+    # shard descriptors and "ok" acks crosses the pickle boundary, and
+    # repeated calls reuse the same segment instead of re-mapping one.
+    arena = None
+    values_host = out_host = None
+    values_view = out_view = None
+    if workers > 1 and _dispatch.shared_memory_available():
         try:
-            shared = _dispatch.SharedBlock(block)
+            arena = _dispatch.get_arena("batch")
+            arena.begin(8 * (scenarios * 3 * n + len(fields) * scenarios * n))
+            values_host, values_view = arena.allocate((scenarios, 3, n))
+            out_host, out_view = arena.allocate((len(fields), scenarios, n))
         except (OSError, ValueError):
-            shared = None  # e.g. /dev/shm unavailable: ship inline
-    with contextlib.ExitStack() as stack:
-        if shared is not None:
-            stack.enter_context(shared)
-        units = []
-        for index, (start, stop) in enumerate(slices):
-            units.append(
-                _dispatch.BatchShard(
-                    index=index,
-                    key=key,
-                    payload=payload,
-                    block=shared.ref if shared is not None else block[start:stop],
-                    start=start,
-                    stop=stop,
-                    settle_band=settle_band,
-                    select=select,
-                    inject=(
-                        f"fault_shards[{index}]" if index in fault_shards else None
-                    ),
-                    fault=_fault_for(fault_plan, index),
-                )
+            arena = None  # e.g. /dev/shm unavailable: ship inline
+
+    block = None
+    if arena is None:
+        block = np.stack([r, l, c], axis=1)  # (S, 3, n), contiguous
+
+    units = []
+    shipped = 0
+    unit_shipped: List[int] = []
+    for index, (start, stop) in enumerate(slices):
+        if arena is not None:
+            shard_block: Any = values_view
+            cost = len(payload)
+        else:
+            shard_block = block[start:stop]
+            cost = len(payload) + shard_block.nbytes
+        shipped += cost
+        unit_shipped.append(cost)
+        units.append(
+            _dispatch.BatchShard(
+                index=index,
+                key=key,
+                payload=payload,
+                block=shard_block,
+                start=start,
+                stop=stop,
+                settle_band=settle_band,
+                select=select,
+                inject=(
+                    f"fault_shards[{index}]" if index in fault_shards else None
+                ),
+                fault=_fault_for(fault_plan, index),
+                out=out_view if arena is not None else None,
+                out_fields=fields if arena is not None else None,
             )
-        raw = _run_units(units, _dispatch.run_batch_shard, workers, supervision)
+        )
+    _dispatch._note("bytes_shipped", shipped)
+
+    stage = None
+    if arena is not None:
+
+        def stage(unit):
+            # Pipelined submit-while-compute: each shard's rows are
+            # copied into the arena just before its first submission,
+            # overlapping staging with already-running shards. Retries
+            # re-read the same rows; they are never re-staged.
+            sl = slice(unit.start, unit.stop)
+            values_host[sl, 0, :] = r[sl]
+            values_host[sl, 1, :] = l[sl]
+            values_host[sl, 2, :] = c[sl]
+
+    raw = _run_units(units, _dispatch.run_batch_shard, workers, supervision, stage)
+
+    def _shard_metrics(body: Dict, start: int, stop: int) -> Dict:
+        if body.get("arena"):
+            # Copy out of the arena: the region is scratch space the
+            # next dispatch call will overwrite.
+            return {
+                name: (
+                    out_host[fields.index(name), start:stop].copy()
+                    if name in fields
+                    else None
+                )
+                for name in METRIC_NAMES
+            }
+        return body
 
     by_index = {index: (status, body) for index, status, body in raw}
     errors: List[ShardError] = []
     outcomes: List[ShardOutcome] = []
-    bodies: List[Optional[Dict]] = []
+    ok_bodies: Dict[int, Dict] = {}
+    returned = 0
     for index, (start, stop) in enumerate(slices):
         status, body = by_index[index]
         if status == "ok":
-            bodies.append(body)
-            outcomes.append(
-                ShardOutcome(
-                    shard=index,
-                    start=start,
-                    stop=stop,
-                    timing=BatchTiming(
-                        names=compiled.names,
-                        settle_band=settle_band,
-                        metrics=MetricArrays(**body),
-                    ),
-                )
-            )
+            ok_bodies[index] = body
+            if not body.get("arena"):
+                returned += _returned_bytes(body)
         else:
-            bodies.append(None)
             errors.append(
                 ShardError(
                     shard=index,
@@ -417,7 +577,28 @@ def analyze_batch_sharded(
                     **body,
                 )
             )
+    _dispatch._note("bytes_returned", returned)
     if errors:
+        for index, (start, stop) in enumerate(slices):
+            body = ok_bodies.get(index)
+            if body is None:
+                continue
+            outcomes.append(
+                ShardOutcome(
+                    shard=index,
+                    start=start,
+                    stop=stop,
+                    timing=BatchTiming(
+                        names=compiled.names,
+                        settle_band=settle_band,
+                        metrics=MetricArrays(**_shard_metrics(body, start, stop)),
+                    ),
+                    bytes_shipped=unit_shipped[index],
+                    bytes_returned=(
+                        0 if body.get("arena") else _returned_bytes(body)
+                    ),
+                )
+            )
         raise DispatchError(
             f"{len(errors)} of {shards} shards failed "
             f"({len(outcomes)} survived): "
@@ -427,12 +608,26 @@ def analyze_batch_sharded(
         )
 
     stitched = {}
-    for name in METRIC_NAMES:
-        columns = [body[name] for body in bodies]
-        if any(column is None for column in columns):
-            stitched[name] = None
-        else:
-            stitched[name] = np.concatenate(columns, axis=0)
+    if arena is not None and all(
+        body.get("arena") for body in ok_bodies.values()
+    ):
+        # Every shard wrote in place: one copy per metric, no
+        # per-shard concatenate.
+        for name in METRIC_NAMES:
+            stitched[name] = (
+                out_host[fields.index(name)].copy() if name in fields else None
+            )
+    else:
+        bodies = [
+            _shard_metrics(ok_bodies[index], start, stop)
+            for index, (start, stop) in enumerate(slices)
+        ]
+        for name in METRIC_NAMES:
+            columns = [body[name] for body in bodies]
+            if any(column is None for column in columns):
+                stitched[name] = None
+            else:
+                stitched[name] = np.concatenate(columns, axis=0)
     return BatchTiming(
         names=compiled.names,
         settle_band=settle_band,

@@ -21,6 +21,11 @@ one system:
 * :mod:`~repro.runtime.config` — :class:`RuntimeConfig`, replacing the
   scattered ``use_engine=``/``use_incremental=``/``workers=`` flags
   (kept as deprecated aliases);
+* :mod:`~repro.runtime.calibrate` — the measured serial/sharded
+  crossover: microbenchmark both paths, fit linear cost models, route
+  batches by the fitted break-even point (persisted in
+  ``BENCH_crossover.json``) so planner-routed calls are never slower
+  than serial;
 * :mod:`~repro.runtime.stats` — the single instrumentation surface
   behind ``context.stats()`` and CLI ``--debug``;
 * :mod:`~repro.runtime.breaker` — per-backend circuit breakers: N
@@ -43,6 +48,13 @@ from .backends import (
     SessionState,
     ShardedBackend,
     default_registry,
+)
+from .calibrate import (
+    CrossoverCalibration,
+    load_calibration,
+    plan_shards,
+    run_calibration,
+    save_calibration,
 )
 from .breaker import BreakerBoard, CircuitBreaker
 from .config import (
@@ -71,6 +83,7 @@ __all__ = [
     "BreakerBoard",
     "CircuitBreaker",
     "CompiledBackend",
+    "CrossoverCalibration",
     "ExecutionContext",
     "ExecutionPlan",
     "IncrementalBackend",
@@ -83,7 +96,11 @@ __all__ = [
     "Workload",
     "default_context",
     "default_registry",
+    "load_calibration",
     "plan",
+    "plan_shards",
+    "run_calibration",
+    "save_calibration",
     "reset_default_context",
     "reset_degradation_warnings",
     "reset_deprecation_warnings",

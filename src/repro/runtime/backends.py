@@ -352,9 +352,19 @@ class ShardedBackend(Backend):
     def batch(self, compiled, rlc, settle_band, metrics, config):
         scenarios = int(rlc.shape[0])
         workers = config.workers if config.parallel else None
-        shards = config.shards or min(
-            workers or scenarios, scenarios
-        )
+        if config.shards is not None:
+            shards = config.shards
+        elif config.calibration is not None and workers:
+            # Cost-model shard sizing: near the break-even point fewer,
+            # larger shards amortize dispatch overhead better than one
+            # shard per worker.
+            from .calibrate import plan_shards
+
+            shards = plan_shards(
+                scenarios * compiled.size, workers, config.calibration
+            )
+        else:
+            shards = min(workers or scenarios, scenarios)
         return analyze_batch_sharded(
             compiled,
             rlc,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
-from typing import Optional, Set, Tuple
+from typing import Any, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
 
@@ -107,6 +107,23 @@ class RuntimeConfig:
     breaker_cooldown:
         Seconds a tripped breaker stays open before admitting a
         half-open probe request.
+    array_backend:
+        Array-ops backend for the compiled kernels: ``"numpy"``,
+        ``"cupy"``, ``"mlx"``, any name registered via
+        :func:`~repro.engine.backend.register_array_backend`, or
+        ``"auto"`` (best available, preferring accelerators). ``None``
+        keeps the process-wide active backend (NumPy unless something
+        changed it). Resolution — and the unusable-backend error — is
+        deferred to :class:`~repro.runtime.context.ExecutionContext`
+        construction, so configs can name backends registered later.
+        The CLI flag ``--array-backend`` maps here.
+    calibration:
+        A measured serial/sharded crossover model (duck-typed like
+        :class:`~repro.runtime.calibrate.CrossoverCalibration`: needs
+        ``sharded_wins(cells)`` and ``breakeven_cells``). When present,
+        the planner routes batch workloads by the *measured* break-even
+        point instead of the static ``sharded_min_cells`` guess, and
+        the sharded backend sizes shards from the same cost model.
     """
 
     backend: Optional[str] = None
@@ -120,6 +137,8 @@ class RuntimeConfig:
     retry_backoff: float = 0.05
     breaker_threshold: int = 3
     breaker_cooldown: float = 30.0
+    array_backend: Optional[str] = None
+    calibration: Optional[Any] = None
 
     def __post_init__(self):
         if self.backend is not None and self.backend not in BACKEND_NAMES:
@@ -168,6 +187,21 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"breaker_cooldown must be non-negative, got "
                 f"{self.breaker_cooldown!r}"
+            )
+        if self.array_backend is not None and not isinstance(
+            self.array_backend, str
+        ):
+            raise ConfigurationError(
+                f"array_backend must be a backend name string or None, "
+                f"got {self.array_backend!r}"
+            )
+        if self.calibration is not None and not hasattr(
+            self.calibration, "sharded_wins"
+        ):
+            raise ConfigurationError(
+                "calibration must provide sharded_wins(cells) (see "
+                "repro.runtime.calibrate.CrossoverCalibration), got "
+                f"{self.calibration!r}"
             )
 
     @property

@@ -159,6 +159,16 @@ class ExecutionContext:
             threshold=self._config.breaker_threshold,
             cooldown=self._config.breaker_cooldown,
         )
+        # Resolve the array backend once, up front: an unusable name
+        # (unknown, or import/probe failure) errors at construction,
+        # not mid-dispatch. None keeps the process-wide active backend.
+        self._array_backend = None
+        if self._config.array_backend is not None:
+            from ..engine.backend import get_array_backend
+
+            self._array_backend = get_array_backend(
+                self._config.array_backend
+            )
         self._closed = False
 
     # -- policy ------------------------------------------------------------
@@ -202,6 +212,11 @@ class ExecutionContext:
     def _dispatch(self, decision: ExecutionPlan, call: Callable):
         """Run one backend call and keep its circuit breaker informed.
 
+        Every call runs with this context's array backend active (a
+        no-op when the config names none), so kernel work the backends
+        trigger — including inside pool workers' serial fallbacks —
+        uses the configured device.
+
         For the sharded backend the dispatch-layer telemetry delta is
         the health signal: a pool rebuild during the call trips the
         breaker immediately (a worker died — the next calls should not
@@ -211,10 +226,13 @@ class ExecutionContext:
         failed outright — always counts as a failure, whatever the
         backend.
         """
+        from ..engine.backend import use_array_backend
+
         breaker = self._breakers.breaker(decision.backend)
         if decision.backend != "sharded":
             try:
-                return call()
+                with use_array_backend(self._array_backend):
+                    return call()
             except DispatchError as exc:
                 breaker.record_failure(str(exc))
                 raise
@@ -222,7 +240,8 @@ class ExecutionContext:
 
         before = dispatch_telemetry()
         try:
-            result = call()
+            with use_array_backend(self._array_backend):
+                result = call()
         except DispatchError as exc:
             breaker.record_failure(str(exc))
             raise
@@ -325,6 +344,32 @@ class ExecutionContext:
                 ),
             )
 
+    # -- calibration -------------------------------------------------------
+
+    @property
+    def array_backend(self):
+        """The resolved array backend, or None (process default)."""
+        return self._array_backend
+
+    def calibrate(self, **kwargs):
+        """Measure the serial/sharded crossover and adopt it for routing.
+
+        Runs :func:`~repro.runtime.calibrate.run_calibration` with this
+        context's worker budget (keyword arguments are forwarded, e.g.
+        ``sizes=``/``repeats=``/``measure=``), installs the result as
+        ``config.calibration`` so subsequent batch plans route by the
+        measured break-even point, and returns the calibration for
+        persisting via
+        :func:`~repro.runtime.calibrate.save_calibration`.
+        """
+        from dataclasses import replace
+
+        from .calibrate import run_calibration
+
+        calibration = run_calibration(workers=self._config.workers, **kwargs)
+        self._config = replace(self._config, calibration=calibration)
+        return calibration
+
     # -- instrumentation ---------------------------------------------------
 
     def track(self, backend: str, kind: str):
@@ -370,11 +415,12 @@ class ExecutionContext:
             return
         self._closed = True
         from ..engine import shutdown_pool
-        from ..engine.dispatch import _live_blocks
+        from ..engine.dispatch import _live_blocks, release_arenas
 
         shutdown_pool()
         for block in list(_live_blocks):
             block.close()
+        release_arenas()
 
     def __enter__(self) -> "ExecutionContext":
         return self

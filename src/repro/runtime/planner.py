@@ -17,6 +17,7 @@ any       ``backend=`` forced (call or config)          as forced
 edit      always (delta updates are the whole point)    incremental
 many      ``workers > 1`` and ``tree_count >= 2``       sharded
 many      otherwise                                     compiled
+batch     calibrated: ``cells >= breakeven_cells``      sharded
 batch     ``workers > 1`` and ``cells >= min_cells``    sharded
 batch     otherwise                                     compiled
 table     always (one vectorized pass)                  compiled
@@ -198,7 +199,27 @@ def plan(
                 f"(workers={config.workers}) -> serial vectorized"
             )
     elif workload.kind == "batch":
-        if config.parallel and workload.cells >= config.sharded_min_cells:
+        calibration = config.calibration
+        if calibration is not None:
+            # A measured crossover beats the static guess: route by the
+            # fitted break-even point, which is the never-slower-than-
+            # serial guarantee (below it the pool cannot pay off).
+            breakeven = calibration.breakeven_cells
+            if config.parallel and calibration.sharded_wins(workload.cells):
+                chosen = "sharded"
+                reasons.append(
+                    f"{workload.cells} cells >= calibrated break-even="
+                    f"{breakeven} with workers={config.workers} "
+                    "-> pool dispatch"
+                )
+            else:
+                chosen = "compiled"
+                reasons.append(
+                    f"{workload.cells} cells below calibrated "
+                    f"break-even={breakeven} or workers<=1 "
+                    "-> in-process vectorized (never slower than serial)"
+                )
+        elif config.parallel and workload.cells >= config.sharded_min_cells:
             chosen = "sharded"
             reasons.append(
                 f"{workload.cells} cells >= sharded_min_cells="

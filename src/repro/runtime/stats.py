@@ -61,19 +61,24 @@ class RuntimeStats:
         decisions), ``"caches"`` (the engine layer's
         :func:`~repro.engine.cache_info` groups), ``"pool"`` (worker
         pool size and generation, sharded dispatches through this
-        context, live shared-memory blocks process-wide) and
+        context, live shared-memory blocks process-wide),
         ``"supervision"`` (the dispatch layer's process-wide failure
         telemetry: timeouts, retries, rebuilds, worker deaths, serial
-        fallbacks, per-worker failure counts).
+        fallbacks, per-worker failure counts) and ``"transport"`` (the
+        zero-copy story made observable: bytes pickled to and from
+        workers, arena-segment reuse hits and each persistent arena's
+        capacity/generation).
         """
         from ..engine import cache_info
         from ..engine.dispatch import (
             _live_blocks,
+            arena_info,
             dispatch_telemetry,
             pool_generation,
             pool_size,
         )
 
+        telemetry = dispatch_telemetry()
         return {
             "dispatch": dict(self._dispatch),
             "workloads": dict(self._workloads),
@@ -86,7 +91,13 @@ class RuntimeStats:
                 "sharded_dispatches": self._pool_dispatches,
                 "live_blocks": len(_live_blocks),
             },
-            "supervision": dispatch_telemetry(),
+            "supervision": telemetry,
+            "transport": {
+                "bytes_shipped": telemetry["bytes_shipped"],
+                "bytes_returned": telemetry["bytes_returned"],
+                "arena_hits": telemetry["arena_hits"],
+                "arenas": arena_info(),
+            },
         }
 
     def reset(self) -> None:

@@ -14,12 +14,17 @@ from repro.circuit import fig5_tree, random_tree
 from repro.engine import analyze_many, dispatch_pool
 from repro.engine.dispatch import (
     SharedBlock,
+    _arenas,
     _atexit_cleanup,
     _live_blocks,
+    arena_info,
+    dispatch_telemetry,
+    get_arena,
     get_pool,
     pool_generation,
     pool_size,
     rebuild_pool,
+    release_arenas,
     shared_memory_available,
     shutdown_pool,
     worker_cache_infos,
@@ -34,8 +39,10 @@ pytestmark = pytest.mark.skipif(
 @pytest.fixture(autouse=True)
 def no_leaked_pool():
     shutdown_pool()
+    release_arenas()
     yield
     shutdown_pool()
+    release_arenas()
 
 
 class TestDispatchPoolScope:
@@ -195,5 +202,148 @@ class TestSupervisedLifecycle:
         good = SharedBlock(np.zeros(2))
         name = good.ref.name
         _atexit_cleanup()  # must not propagate the double-close
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestArenaLifecycle:
+    """The persistent, parent-owned, grow-only shared-memory arenas."""
+
+    def test_begin_within_capacity_reuses_the_segment(self):
+        arena = get_arena("test-reuse")
+        arena.begin(1024)
+        name, generation = arena.name, arena.generation
+        hits = dispatch_telemetry()["arena_hits"]
+        arena.begin(512)  # fits: same segment, no re-map
+        assert arena.name == name
+        assert arena.generation == generation
+        assert dispatch_telemetry()["arena_hits"] == hits + 1
+
+    def test_growth_replaces_segment_and_unlinks_the_old_one(self):
+        from multiprocessing import shared_memory
+
+        arena = get_arena("test-grow")
+        arena.begin(1024)
+        old_name, old_generation = arena.name, arena.generation
+        arena.begin(10 * arena.capacity)
+        assert arena.generation == old_generation + 1
+        assert arena.name != old_name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=old_name)
+
+    def test_growth_is_at_least_geometric(self):
+        # Growing by one byte at a time must not re-map per call.
+        arena = get_arena("test-geometric")
+        arena.begin(4096)
+        first = arena.capacity
+        arena.begin(first + 1)
+        assert arena.capacity >= 2 * first
+
+    def test_allocate_hands_out_disjoint_views(self):
+        arena = get_arena("test-alloc")
+        arena.begin(8 * (6 + 8))
+        first_host, first_view = arena.allocate((2, 3))
+        second_host, second_view = arena.allocate((8,))
+        first_host[:] = 1.0
+        second_host[:] = 2.0
+        assert first_host.tolist() == [[1.0] * 3] * 2
+        assert second_view.offset >= first_view.offset + first_view.nbytes
+
+    def test_allocate_beyond_reservation_raises(self):
+        arena = get_arena("test-overflow")
+        arena.begin(64)
+        with pytest.raises(ReproError):
+            arena.allocate((1000, 1000))
+
+    def test_release_arenas_unlinks_everything(self):
+        from multiprocessing import shared_memory
+
+        arena = get_arena("test-release")
+        arena.begin(256)
+        name = arena.name
+        release_arenas()
+        assert arena_info() == {}
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_sharded_batch_populates_and_reuses_the_batch_arena(self):
+        from repro.engine import analyze_batch
+        from repro.engine.compiled import compile_tree
+        from repro.engine.sharded import analyze_batch_sharded
+
+        ct = compile_tree(fig5_tree())
+        rng = np.random.default_rng(7)
+        rlc = rng.uniform(0.5, 2.0, size=(64, 3, ct.size))
+        serial = analyze_batch(ct, rlc)
+        with dispatch_pool(2):
+            before = dispatch_telemetry()
+            first = analyze_batch_sharded(ct, rlc, shards=2, workers=2)
+            second = analyze_batch_sharded(ct, rlc, shards=2, workers=2)
+            after = dispatch_telemetry()
+        assert "batch" in arena_info()
+        # Second call reuses the first call's segment.
+        assert after["arena_hits"] > before["arena_hits"]
+        # Results travel through the arena, not the pickle channel.
+        assert after["bytes_returned"] == before["bytes_returned"]
+        assert after["bytes_shipped"] > before["bytes_shipped"]
+        for name in ("t_rc", "delay_50", "settling"):
+            expected = getattr(serial.metrics, name)
+            for timing in (first, second):
+                got = getattr(timing.metrics, name)
+                assert np.array_equal(got, expected, equal_nan=True)
+
+    def test_arena_results_survive_pool_rebuild(self):
+        # Workers attach by segment name; a fresh pool generation must
+        # still read the parent's current arena and produce identical
+        # results.
+        from repro.engine import analyze_batch
+        from repro.engine.compiled import compile_tree
+        from repro.engine.sharded import analyze_batch_sharded
+
+        ct = compile_tree(fig5_tree())
+        rng = np.random.default_rng(11)
+        rlc = rng.uniform(0.5, 2.0, size=(32, 3, ct.size))
+        serial = analyze_batch(ct, rlc)
+        with dispatch_pool(2):
+            analyze_batch_sharded(ct, rlc, shards=2, workers=2)
+            generation = pool_generation()
+            rebuild_pool()
+            assert pool_generation() == generation + 1
+            again = analyze_batch_sharded(ct, rlc, shards=2, workers=2)
+        assert np.array_equal(
+            again.metrics.delay_50, serial.metrics.delay_50, equal_nan=True
+        )
+
+    def test_arena_grows_across_calls_without_stale_reads(self):
+        # A bigger second batch forces growth (new segment name);
+        # workers must follow the rename, not read the dead segment.
+        from repro.engine import analyze_batch
+        from repro.engine.compiled import compile_tree
+        from repro.engine.sharded import analyze_batch_sharded
+
+        ct = compile_tree(fig5_tree())
+        rng = np.random.default_rng(13)
+        small = rng.uniform(0.5, 2.0, size=(8, 3, ct.size))
+        big = rng.uniform(0.5, 2.0, size=(512, 3, ct.size))
+        with dispatch_pool(2):
+            analyze_batch_sharded(ct, small, shards=2, workers=2)
+            first_generation = arena_info()["batch"]["generation"]
+            sharded = analyze_batch_sharded(ct, big, shards=2, workers=2)
+            assert arena_info()["batch"]["generation"] > first_generation
+        serial = analyze_batch(ct, big)
+        assert np.array_equal(
+            sharded.metrics.rise_time,
+            serial.metrics.rise_time,
+            equal_nan=True,
+        )
+
+    def test_atexit_cleanup_releases_arenas(self):
+        from multiprocessing import shared_memory
+
+        arena = get_arena("test-atexit")
+        arena.begin(128)
+        name = arena.name
+        _atexit_cleanup()
+        assert not _arenas
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)

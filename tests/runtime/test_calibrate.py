@@ -1,0 +1,238 @@
+"""The measured serial/sharded crossover and its planner integration.
+
+Everything here is deterministic: timings are injected through
+``run_calibration``'s ``measure`` hook, so the fits, the break-even
+solutions and the routing decisions are exact — no wall clock, no box
+dependence. One small real-measurement test runs the actual
+microbenchmark end to end (marked ``perf``-free: it only asserts the
+calibration is well-formed, not that sharding wins on this machine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CrossoverCalibration,
+    ExecutionContext,
+    RuntimeConfig,
+    Workload,
+    load_calibration,
+    plan,
+    plan_shards,
+    run_calibration,
+    save_calibration,
+)
+from repro.errors import ConfigurationError
+
+
+def linear_measure(
+    serial_overhead, serial_per_cell, sharded_overhead, sharded_per_cell
+):
+    """A deterministic measure hook with exact linear cost curves."""
+
+    def measure(mode, scenarios, cells):
+        if mode == "serial":
+            return serial_overhead + serial_per_cell * cells
+        return sharded_overhead + sharded_per_cell * cells
+
+    return measure
+
+
+#: Sharded pays a big fixed overhead but a 4x smaller slope: the
+#: curves cross at (5e-4 - 1e-6) / (1e-8 - 0.25e-8) = 66533.2 cells.
+CROSSING = linear_measure(1e-6, 1e-8, 5e-4, 0.25e-8)
+
+#: Sharded is slower at every size (steeper slope): never wins.
+NEVER = linear_measure(1e-6, 1e-8, 5e-4, 2e-8)
+
+
+class TestFitAndBreakeven:
+    def test_recovers_the_exact_crossing(self):
+        calibration = run_calibration(workers=4, measure=CROSSING)
+        assert calibration.workers == 4
+        assert calibration.breakeven_cells == 66534  # ceil of 66533.2
+        assert calibration.serial_per_cell == pytest.approx(1e-8)
+        assert calibration.sharded_per_cell == pytest.approx(0.25e-8)
+        assert calibration.serial_overhead == pytest.approx(1e-6, abs=1e-9)
+        assert calibration.sharded_overhead == pytest.approx(5e-4)
+
+    def test_never_wins_when_sharded_slope_is_steeper(self):
+        calibration = run_calibration(workers=4, measure=NEVER)
+        assert calibration.breakeven_cells is None
+        assert not calibration.sharded_wins(10**12)
+
+    def test_one_worker_never_wins_whatever_the_fit_says(self):
+        # Even a measure hook claiming sharded is faster cannot make a
+        # one-worker box route to the pool.
+        impossible = linear_measure(1e-6, 1e-8, 0.0, 1e-10)
+        calibration = run_calibration(workers=1, measure=impossible)
+        assert calibration.breakeven_cells is None
+
+    def test_sharded_wins_is_a_threshold(self):
+        calibration = run_calibration(workers=4, measure=CROSSING)
+        below = calibration.breakeven_cells - 1
+        assert not calibration.sharded_wins(below)
+        assert calibration.sharded_wins(calibration.breakeven_cells)
+
+    def test_predictions_match_the_injected_curves(self):
+        calibration = run_calibration(workers=4, measure=CROSSING)
+        assert calibration.predicted_serial(10**6) == pytest.approx(
+            1e-6 + 1e-8 * 10**6
+        )
+        assert calibration.predicted_sharded(10**6) == pytest.approx(
+            5e-4 + 0.25e-8 * 10**6
+        )
+
+    def test_samples_are_recorded(self):
+        calibration = run_calibration(
+            workers=4, sizes=(64, 256), measure=CROSSING
+        )
+        assert len(calibration.samples) == 2
+        for cells, serial_s, sharded_s in calibration.samples:
+            assert serial_s == CROSSING("serial", 0, cells)
+            assert sharded_s == CROSSING("sharded", 0, cells)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_calibration(workers=4, repeats=0, measure=CROSSING)
+        with pytest.raises(ConfigurationError):
+            run_calibration(workers=4, sizes=(), measure=CROSSING)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        calibration = run_calibration(workers=4, measure=CROSSING)
+        path = save_calibration(calibration, tmp_path / "cal.json")
+        assert load_calibration(path) == calibration
+
+    def test_round_trip_preserves_never_wins(self, tmp_path):
+        calibration = run_calibration(workers=4, measure=NEVER)
+        path = save_calibration(calibration, tmp_path / "cal.json")
+        assert load_calibration(path).breakeven_cells is None
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_calibration(tmp_path / "absent.json")
+
+    def test_corrupt_file_raises_configuration_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"workers\": \"many\"}")
+        with pytest.raises(ConfigurationError, match="invalid calibration"):
+            load_calibration(bad)
+        bad.write_text("not json at all")
+        with pytest.raises(ConfigurationError):
+            load_calibration(bad)
+
+
+class TestPlannerIntegration:
+    def test_batch_routes_by_breakeven_not_static_threshold(self):
+        calibration = run_calibration(workers=4, measure=CROSSING)
+        # Static threshold would say sharded (cells >= 4096); the
+        # measured break-even says serial — measurement wins.
+        config = RuntimeConfig(workers=4, calibration=calibration)
+        below = plan(
+            Workload(kind="batch", tree_size=33, scenarios=500), config
+        )
+        assert below.workload.cells == 16500
+        assert below.backend == "compiled"
+        assert any("break-even" in reason for reason in below.reasons)
+        above = plan(
+            Workload(kind="batch", tree_size=33, scenarios=5000), config
+        )
+        assert above.backend == "sharded"
+
+    def test_never_wins_calibration_pins_everything_serial(self):
+        calibration = run_calibration(workers=4, measure=NEVER)
+        config = RuntimeConfig(workers=4, calibration=calibration)
+        huge = plan(
+            Workload(kind="batch", tree_size=1000, scenarios=10**6), config
+        )
+        assert huge.backend == "compiled"
+
+    def test_without_calibration_static_threshold_still_applies(self):
+        config = RuntimeConfig(workers=4)
+        decision = plan(
+            Workload(kind="batch", tree_size=100, scenarios=100), config
+        )
+        assert decision.backend == "sharded"
+        assert any("sharded_min_cells" in r for r in decision.reasons)
+
+    def test_forced_backend_beats_calibration(self):
+        calibration = run_calibration(workers=4, measure=NEVER)
+        config = RuntimeConfig(workers=4, calibration=calibration)
+        decision = plan(
+            Workload(kind="batch", tree_size=10, scenarios=10),
+            config,
+            backend="sharded",
+        )
+        assert decision.backend == "sharded"
+        assert decision.forced
+
+    def test_config_rejects_calibration_without_protocol(self):
+        with pytest.raises(ConfigurationError, match="sharded_wins"):
+            RuntimeConfig(calibration={"breakeven_cells": 5})
+
+
+class TestPlanShards:
+    def test_without_calibration_one_shard_per_worker(self):
+        assert plan_shards(10**6, 8) == 8
+        assert plan_shards(10**6, 8, None) == 8
+
+    def test_small_batches_get_fewer_larger_shards(self):
+        calibration = run_calibration(workers=8, measure=CROSSING)
+        breakeven = calibration.breakeven_cells
+        # Just past break-even: ~2 shards, each carrying ~breakeven/2
+        # cells, not 8 slivers drowning in dispatch overhead.
+        assert plan_shards(breakeven, 8, calibration) == 2
+        assert plan_shards(10 * breakeven, 8, calibration) == 8
+
+    def test_never_below_one_or_above_workers(self):
+        calibration = run_calibration(workers=8, measure=CROSSING)
+        assert plan_shards(1, 8, calibration) == 1
+        assert plan_shards(10**12, 8, calibration) == 8
+        assert plan_shards(10**12, 1, calibration) == 1
+
+
+class TestContextIntegration:
+    def test_calibrate_installs_and_returns_the_model(self):
+        with ExecutionContext(RuntimeConfig(workers=4)) as context:
+            calibration = context.calibrate(measure=CROSSING)
+            assert isinstance(calibration, CrossoverCalibration)
+            assert context.config.calibration is calibration
+            decision = context.plan(
+                Workload(kind="batch", tree_size=33, scenarios=500)
+            )
+            assert decision.backend == "compiled"
+
+    def test_calibrated_routing_is_never_slower_than_serial(self):
+        # The locally verifiable form of the acceptance gate: every
+        # batch below the measured break-even runs on the in-process
+        # engine (zero dispatch overhead == serial cost), and results
+        # are bitwise identical however the call is routed.
+        from repro.circuit import fig5_tree
+        from repro.engine import analyze_batch, compile_tree
+
+        ct = compile_tree(fig5_tree())
+        rng = np.random.default_rng(5)
+        rlc = rng.uniform(0.5, 2.0, size=(30, 3, ct.size))
+        calibration = run_calibration(workers=4, measure=CROSSING)
+        config = RuntimeConfig(workers=4, calibration=calibration)
+        with ExecutionContext(config) as context:
+            routed = context.batch(ct, rlc)
+            stats = context.stats()
+        assert stats["dispatch"].get("sharded", 0) == 0
+        serial = analyze_batch(ct, rlc)
+        assert np.array_equal(
+            routed.metrics.delay_50, serial.metrics.delay_50, equal_nan=True
+        )
+
+    def test_real_measurement_round_trips(self):
+        # One genuine (tiny) microbenchmark: whatever this box can do,
+        # the calibration must be well-formed and self-consistent.
+        calibration = run_calibration(
+            workers=1, sizes=(16, 64), repeats=1
+        )
+        assert calibration.workers == 1
+        assert calibration.breakeven_cells is None  # one worker
+        assert len(calibration.samples) == 2
+        assert all(s > 0 and p > 0 for _, s, p in calibration.samples)
