@@ -157,6 +157,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fit.add_argument("--metric", choices=("delay", "rise"), default="delay")
 
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived analysis service: one warm runtime context "
+        "behind an HTTP front with coalescing and admission control",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8341,
+        help="TCP port; 0 picks a free one (default 8341)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="admitted analysis requests allowed at once; the next one "
+        "gets 429 + Retry-After (default 8)",
+    )
+    serve.add_argument(
+        "--coalesce-window", type=float, default=0.005, metavar="SECONDS",
+        help="how long a point query waits to merge with concurrent "
+        "same-topology queries (default 0.005)",
+    )
+    serve.add_argument(
+        "--max-group", type=int, default=64, metavar="N",
+        help="largest coalesced group; a full group flushes immediately "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint on 429 responses (default 1)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker budget of the context's sharded backend "
+        "(default: runtime default)",
+    )
+    serve.add_argument(
+        "--calibration", default=None, metavar="PATH",
+        help="install a persisted crossover calibration "
+        "(BENCH_crossover.json) into the serving context",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=0, metavar="N",
+        help="drain and exit after N admitted requests; 0 = run until "
+        "SIGINT/SIGTERM (smoke-test knob, default 0)",
+    )
+
     window = commands.add_parser(
         "window",
         help="the [8] inductance-importance window for a wire geometry",
@@ -352,6 +400,45 @@ def _cmd_window(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .service import AnalysisServer
+
+    server = AnalysisServer(
+        args.runtime,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        coalesce_window=args.coalesce_window,
+        max_group=args.max_group,
+        retry_after=args.retry_after,
+        max_requests=args.max_requests,
+    )
+
+    def announce(ready) -> None:
+        print(
+            f"repro service listening on http://{args.host}:{ready.port} "
+            f"(max_inflight={ready.max_inflight})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+        await server.serve(on_ready=announce)
+
+    asyncio.run(run())
+    print("repro service drained", file=sys.stderr, flush=True)
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
@@ -359,6 +446,7 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "fit": _cmd_fit,
     "window": _cmd_window,
+    "serve": _cmd_serve,
 }
 
 
@@ -419,6 +507,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         overrides["max_retries"] = args.max_retries
     if args.array_backend is not None:
         overrides["array_backend"] = args.array_backend
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
+    if getattr(args, "calibration", None):
+        from pathlib import Path
+
+        from .runtime import load_calibration
+
+        calibration = load_calibration(Path(args.calibration))
+        if calibration is not None:  # corrupt file degrades with a warning
+            overrides["calibration"] = calibration
     config = RuntimeConfig(
         backend=getattr(args, "backend", None), **overrides
     )

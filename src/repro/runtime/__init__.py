@@ -50,9 +50,11 @@ from .backends import (
     default_registry,
 )
 from .calibrate import (
+    CALIBRATION_FILE,
     CrossoverCalibration,
     load_calibration,
     plan_shards,
+    reset_calibration_warnings,
     run_calibration,
     save_calibration,
 )
@@ -77,6 +79,7 @@ from .stats import RuntimeStats
 
 __all__ = [
     "BACKEND_NAMES",
+    "CALIBRATION_FILE",
     "WORKLOAD_KINDS",
     "Backend",
     "BackendRegistry",
@@ -101,6 +104,7 @@ __all__ = [
     "plan_shards",
     "run_calibration",
     "save_calibration",
+    "reset_calibration_warnings",
     "reset_default_context",
     "reset_degradation_warnings",
     "reset_deprecation_warnings",

@@ -29,10 +29,13 @@ root by convention) so one measurement serves many runs:
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -49,7 +52,30 @@ __all__ = [
     "save_calibration",
     "load_calibration",
     "plan_shards",
+    "reset_calibration_warnings",
 ]
+
+#: Common prefix of every calibration warning; the targeted pytest
+#: ``filterwarnings`` entry in pyproject.toml matches on it.
+_CALIBRATION_PREFIX = "repro.runtime calibration"
+
+#: Warn-once keys that already fired this process.
+_calibration_warned: Set[str] = set()
+
+
+def _warn_calibration(key: str, message: str) -> None:
+    """Warn (once per key) about a degraded calibration situation."""
+    if key in _calibration_warned:
+        return
+    _calibration_warned.add(key)
+    warnings.warn(
+        f"{_CALIBRATION_PREFIX}: {message}", RuntimeWarning, stacklevel=3
+    )
+
+
+def reset_calibration_warnings() -> None:
+    """Forget which calibration problems already warned (test isolation)."""
+    _calibration_warned.clear()
 
 #: Default file name for a persisted calibration (repo-root convention,
 #: matching the ``BENCH_*.json`` benchmark artifacts).
@@ -83,6 +109,23 @@ class CrossoverCalibration:
     breakeven_cells: Optional[int]
     samples: Tuple[Tuple[int, float, float], ...] = ()
 
+    def __post_init__(self):
+        # Costs are physical: a noisy least-squares fit can hand back a
+        # (slightly) negative intercept, which would make
+        # predicted_serial() negative for small batches and skew every
+        # downstream break-even comparison. Clamp at construction so
+        # every path in — run_calibration, load_calibration of a legacy
+        # file, hand-built test fixtures — gets a sane model.
+        for name in (
+            "serial_overhead",
+            "serial_per_cell",
+            "sharded_overhead",
+            "sharded_per_cell",
+        ):
+            value = getattr(self, name)
+            if value < 0.0:
+                object.__setattr__(self, name, 0.0)
+
     def sharded_wins(self, cells: int) -> bool:
         """True when the fitted model says the pool beats serial."""
         return self.breakeven_cells is not None and cells >= self.breakeven_cells
@@ -95,13 +138,19 @@ class CrossoverCalibration:
 
 
 def _fit_line(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
-    """Least-squares ``(overhead, per_cell)`` for ``y = a + b*x``."""
+    """Least-squares ``(overhead, per_cell)`` for ``y = a + b*x``.
+
+    The intercept is clamped at zero: timings are positive, so a
+    negative fitted overhead is pure regression noise (small samples
+    dominated by the per-cell term), and letting it through would
+    predict negative cost for small batches.
+    """
     x = np.asarray(xs, dtype=float)
     y = np.asarray(ys, dtype=float)
     if x.size == 1:
         return 0.0, float(y[0] / max(x[0], 1.0))
     coeffs = np.polyfit(x, y, 1)
-    return float(coeffs[1]), float(coeffs[0])
+    return max(0.0, float(coeffs[1])), float(coeffs[0])
 
 
 def _breakeven(
@@ -216,18 +265,47 @@ def run_calibration(
 def save_calibration(
     calibration: CrossoverCalibration, path: Union[str, Path] = CALIBRATION_FILE
 ) -> Path:
-    """Persist a calibration as JSON; returns the written path."""
+    """Persist a calibration as JSON; returns the written path.
+
+    The write is atomic: the payload goes to a temporary file in the
+    destination directory and lands via :func:`os.replace`, so a crash
+    mid-write leaves either the old file or the new one — never a
+    truncated JSON document that poisons every later
+    :func:`load_calibration`.
+    """
     path = Path(path)
     payload = asdict(calibration)
     payload["samples"] = [list(sample) for sample in calibration.samples]
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    text = json.dumps(payload, indent=2) + "\n"
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 
 def load_calibration(
     path: Union[str, Path] = CALIBRATION_FILE,
-) -> CrossoverCalibration:
-    """Load a persisted calibration; raises ConfigurationError on bad data."""
+) -> Optional[CrossoverCalibration]:
+    """Load a persisted calibration; ``None`` when the file is corrupt.
+
+    A missing file still raises :exc:`FileNotFoundError` (the caller
+    asked for a specific path that is not there), but a file that
+    exists and cannot be decoded degrades to *uncalibrated* — a
+    warn-once ``RuntimeWarning`` names the file and the runtime falls
+    back to the static routing thresholds instead of refusing to start.
+    A long-lived service must not be held down across restarts by one
+    bad artifact on disk.
+    """
     path = Path(path)
     try:
         payload = json.loads(path.read_text())
@@ -249,9 +327,12 @@ def load_calibration(
     except FileNotFoundError:
         raise
     except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
-        raise ConfigurationError(
-            f"invalid calibration file {path}: {exc}"
-        ) from exc
+        _warn_calibration(
+            f"corrupt:{path}",
+            f"calibration file {path} is corrupt ({exc}); continuing "
+            "uncalibrated — re-run the crossover benchmark to regenerate it",
+        )
+        return None
 
 
 def plan_shards(

@@ -155,6 +155,33 @@ class ExecutionContext:
         self._config = config or RuntimeConfig()
         self._registry = registry or default_registry()
         self._stats = RuntimeStats()
+        # A calibration measured under a different worker budget must
+        # not drive this context's routing: its sharded cost curve was
+        # fitted for another pool shape, so its break-even point is
+        # meaningless here. Ignore it (warn once) and record the
+        # staleness so stats()/operators can see why routing fell back
+        # to the static thresholds.
+        self._calibration_stale = False
+        calibration = self._config.calibration
+        if (
+            calibration is not None
+            and self._config.workers is not None
+            and getattr(calibration, "workers", None)
+            not in (None, self._config.workers)
+        ):
+            from dataclasses import replace
+
+            from .calibrate import _warn_calibration
+
+            self._calibration_stale = True
+            _warn_calibration(
+                f"stale-workers:{calibration.workers}->{self._config.workers}",
+                f"ignoring calibration measured at workers="
+                f"{calibration.workers} for a context configured with "
+                f"workers={self._config.workers}; re-run run_calibration "
+                "with the current worker budget",
+            )
+            self._config = replace(self._config, calibration=None)
         self._breakers = BreakerBoard(
             threshold=self._config.breaker_threshold,
             cooldown=self._config.breaker_cooldown,
@@ -383,15 +410,30 @@ class ExecutionContext:
         self._registry.get(backend)  # validate the name
         return self._stats.record(backend, kind)
 
+    def add_stats_group(self, name: str, provider: Callable[[], dict]) -> None:
+        """Register an extra named group in :meth:`stats` snapshots.
+
+        The seam higher layers (the analysis service, future MCP
+        frontends) use to surface their own counters on the one
+        instrumentation surface: ``provider()`` is called at snapshot
+        time and its dict lands under ``stats()[name]``.
+        """
+        self._stats.register_group(name, provider)
+
     def stats(self) -> dict:
         """The one instrumentation snapshot (see :class:`RuntimeStats`).
 
         On top of the :class:`RuntimeStats` groups, ``"breakers"``
         holds this context's per-backend circuit-breaker states and
-        transition history.
+        transition history, ``"calibration_stale"`` flags a persisted
+        crossover calibration that was ignored at construction because
+        it was measured under a different worker budget, and any groups
+        registered via :meth:`add_stats_group` (e.g. the analysis
+        service's ``"service"`` group) appear under their own names.
         """
         snapshot = self._stats.snapshot()
         snapshot["breakers"] = self._breakers.snapshot()
+        snapshot["calibration_stale"] = self._calibration_stale
         return snapshot
 
     def reset_stats(self) -> None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict
+from typing import Callable, Dict
 
 __all__ = ["RuntimeStats"]
 
@@ -26,8 +26,19 @@ class RuntimeStats:
         self._phase_seconds: Dict[str, float] = {}
         self._plans = {"auto": 0, "forced": 0, "degraded": 0}
         self._pool_dispatches = 0
+        self._groups: Dict[str, Callable[[], dict]] = {}
 
     # -- recording ---------------------------------------------------------
+
+    def register_group(self, name: str, provider: Callable[[], dict]) -> None:
+        """Attach an extra named snapshot group (e.g. ``"service"``).
+
+        ``provider()`` runs at :meth:`snapshot` time; registering the
+        same name again replaces the provider. Registered groups
+        survive :meth:`reset` — a counter reset must not silently
+        unhook a live service's instrumentation.
+        """
+        self._groups[name] = provider
 
     def record_plan(self, forced: bool, degraded: bool = False) -> None:
         self._plans["forced" if forced else "auto"] += 1
@@ -79,7 +90,7 @@ class RuntimeStats:
         )
 
         telemetry = dispatch_telemetry()
-        return {
+        snapshot = {
             "dispatch": dict(self._dispatch),
             "workloads": dict(self._workloads),
             "phases": dict(self._phase_seconds),
@@ -99,6 +110,11 @@ class RuntimeStats:
                 "arenas": arena_info(),
             },
         }
+        for name, provider in self._groups.items():
+            snapshot[name] = provider()
+        return snapshot
 
     def reset(self) -> None:
+        groups = self._groups
         self.__init__()
+        self._groups = groups

@@ -1,0 +1,266 @@
+"""Wire protocol of the analysis service: typed requests, exact JSON.
+
+The service speaks plain JSON over HTTP, but two properties matter more
+than the framing:
+
+* **Bitwise fidelity** — metric values cross the wire as JSON numbers
+  serialized from python ``repr``, which round-trips every finite
+  double exactly (and ``NaN`` survives via the JSON extension both
+  :mod:`json` directions support). A client that parses the response
+  holds the *same* floats a direct
+  :class:`~repro.runtime.ExecutionContext` call would have returned.
+* **Validation before admission** — request bodies are checked here,
+  before they can join a coalescing group or occupy an executor slot,
+  so a malformed request costs a 400 and nothing else.
+
+Every schema violation raises :class:`BadRequest` (a
+:class:`~repro.errors.ConfigurationError`), which the HTTP layer maps
+to a 400 response.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import loads
+from ..circuit.tree import RLCTree
+from ..engine.kernels import METRIC_NAMES
+from ..errors import ConfigurationError, ReproError
+
+__all__ = [
+    "BadRequest",
+    "AnalyzeRequest",
+    "BatchRequest",
+    "SweepRequest",
+    "parse_analyze",
+    "parse_batch",
+    "parse_sweep",
+    "encode_json",
+    "decode_json",
+]
+
+#: Elements a sweep axis may vary.
+SWEEP_ELEMENTS = ("resistance", "inductance", "capacitance")
+
+#: Hard cap on scenario counts accepted over the wire — a service must
+#: bound the memory one request can pin, whatever the client asks for.
+MAX_SCENARIOS = 1_000_000
+
+
+class BadRequest(ConfigurationError):
+    """A request body failed validation; maps to HTTP 400."""
+
+
+def decode_json(body: bytes) -> dict:
+    """Parse a request body; non-JSON or non-object bodies are 400s."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    return payload
+
+
+def encode_json(payload) -> bytes:
+    """Serialize a response payload; floats go out via exact ``repr``."""
+    return json.dumps(payload, allow_nan=True).encode("utf-8")
+
+
+def _parse_tree(payload: dict) -> RLCTree:
+    netlist = payload.get("netlist")
+    if not isinstance(netlist, str) or not netlist.strip():
+        raise BadRequest("field 'netlist' must be a non-empty string")
+    try:
+        return loads(netlist)
+    except ReproError as exc:
+        raise BadRequest(f"netlist rejected: {exc}") from None
+
+
+def _parse_settle_band(payload: dict) -> float:
+    settle_band = payload.get("settle_band", 0.1)
+    if not isinstance(settle_band, (int, float)) or not 0 < settle_band < 1:
+        raise BadRequest("field 'settle_band' must be a number in (0, 1)")
+    return float(settle_band)
+
+
+def _parse_metrics(payload: dict) -> Tuple[str, ...]:
+    metrics = payload.get("metrics")
+    if metrics is None:
+        return METRIC_NAMES
+    if not isinstance(metrics, list) or not all(
+        isinstance(m, str) for m in metrics
+    ):
+        raise BadRequest("field 'metrics' must be a list of metric names")
+    unknown = [m for m in metrics if m not in METRIC_NAMES]
+    if unknown:
+        raise BadRequest(
+            f"unknown metrics {unknown}; choose from {list(METRIC_NAMES)}"
+        )
+    if not metrics:
+        raise BadRequest("field 'metrics' must not be empty")
+    return tuple(metrics)
+
+
+def _parse_nodes(payload: dict, tree: RLCTree) -> Tuple[str, ...]:
+    nodes = payload.get("nodes")
+    if nodes is None:
+        return tuple(tree.nodes)
+    if not isinstance(nodes, list) or not all(
+        isinstance(n, str) for n in nodes
+    ):
+        raise BadRequest("field 'nodes' must be a list of node names")
+    if not nodes:
+        raise BadRequest("field 'nodes' must not be empty")
+    # Deliberately NOT resolved against the tree here: unknown nodes
+    # surface per-member at extraction time, which is what the
+    # coalescer's failure-isolation contract is tested against.
+    return tuple(nodes)
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """One point/table query: closed-form metrics at named nodes."""
+
+    tree: RLCTree
+    nodes: Tuple[str, ...]
+    metrics: Tuple[str, ...]
+    settle_band: float
+    session: Optional[str] = None
+
+
+def parse_analyze(payload: dict) -> AnalyzeRequest:
+    tree = _parse_tree(payload)
+    session = payload.get("session")
+    if session is not None and not isinstance(session, str):
+        raise BadRequest("field 'session' must be a string")
+    return AnalyzeRequest(
+        tree=tree,
+        nodes=_parse_nodes(payload, tree),
+        metrics=_parse_metrics(payload),
+        settle_band=_parse_settle_band(payload),
+        session=session,
+    )
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """An ``(S, 3, n)`` scenario batch over one topology."""
+
+    tree: RLCTree
+    rlc: np.ndarray
+    metrics: Tuple[str, ...]
+    settle_band: float
+
+
+def parse_batch(payload: dict) -> BatchRequest:
+    tree = _parse_tree(payload)
+    raw = payload.get("rlc")
+    if not isinstance(raw, list) or not raw:
+        raise BadRequest(
+            "field 'rlc' must be a non-empty (S, 3, n) nested list"
+        )
+    try:
+        rlc = np.asarray(raw, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"field 'rlc' is not numeric: {exc}") from None
+    if rlc.ndim != 3 or rlc.shape[1] != 3 or rlc.shape[2] != tree.size:
+        raise BadRequest(
+            f"field 'rlc' must have shape (S, 3, {tree.size}), "
+            f"got {rlc.shape}"
+        )
+    if rlc.shape[0] > MAX_SCENARIOS:
+        raise BadRequest(
+            f"batch of {rlc.shape[0]} scenarios exceeds the service cap "
+            f"of {MAX_SCENARIOS}"
+        )
+    return BatchRequest(
+        tree=tree,
+        rlc=rlc,
+        metrics=_parse_metrics(payload),
+        settle_band=_parse_settle_band(payload),
+    )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A one-axis parameter sweep, streamed back in scenario chunks."""
+
+    tree: RLCTree
+    section: str
+    element: str
+    values: np.ndarray
+    nodes: Tuple[str, ...]
+    metrics: Tuple[str, ...]
+    settle_band: float
+    chunk: int = 256
+
+
+def parse_sweep(payload: dict) -> SweepRequest:
+    tree = _parse_tree(payload)
+    section = payload.get("section")
+    if not isinstance(section, str) or section not in tree.nodes:
+        raise BadRequest(
+            f"field 'section' must name a section of the tree, "
+            f"got {section!r}"
+        )
+    element = payload.get("element")
+    if element not in SWEEP_ELEMENTS:
+        raise BadRequest(
+            f"field 'element' must be one of {list(SWEEP_ELEMENTS)}, "
+            f"got {element!r}"
+        )
+    raw = payload.get("values")
+    if isinstance(raw, dict):
+        spec = {"start", "stop", "points"}
+        if set(raw) != spec or not all(
+            isinstance(raw[k], (int, float)) for k in spec
+        ):
+            raise BadRequest(
+                "field 'values' as an object needs numeric "
+                "'start'/'stop'/'points'"
+            )
+        points = int(raw["points"])
+        if not 2 <= points <= MAX_SCENARIOS:
+            raise BadRequest(
+                f"'values.points' must be in [2, {MAX_SCENARIOS}]"
+            )
+        values = np.linspace(float(raw["start"]), float(raw["stop"]), points)
+    elif isinstance(raw, list) and raw:
+        try:
+            values = np.asarray(raw, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(
+                f"field 'values' is not numeric: {exc}"
+            ) from None
+        if values.ndim != 1 or values.size > MAX_SCENARIOS:
+            raise BadRequest(
+                f"field 'values' must be a flat list of at most "
+                f"{MAX_SCENARIOS} numbers"
+            )
+    else:
+        raise BadRequest(
+            "field 'values' must be a non-empty list or a "
+            "start/stop/points object"
+        )
+    if np.any(values <= 0) and element != "inductance":
+        raise BadRequest(
+            f"sweep values for {element} must be positive"
+        )
+    chunk = payload.get("chunk", 256)
+    if not isinstance(chunk, int) or chunk < 1:
+        raise BadRequest("field 'chunk' must be a positive integer")
+    return SweepRequest(
+        tree=tree,
+        section=section,
+        element=element,
+        values=values,
+        nodes=_parse_nodes(payload, tree),
+        metrics=_parse_metrics(payload),
+        settle_band=_parse_settle_band(payload),
+        chunk=chunk,
+    )

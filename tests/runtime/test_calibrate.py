@@ -8,6 +8,9 @@ microbenchmark end to end (marked ``perf``-free: it only asserts the
 calibration is well-formed, not that sharding wins on this machine).
 """
 
+import warnings
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
@@ -19,10 +22,26 @@ from repro.runtime import (
     load_calibration,
     plan,
     plan_shards,
+    reset_calibration_warnings,
     run_calibration,
     save_calibration,
 )
 from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def rearm_calibration_warnings():
+    reset_calibration_warnings()
+    yield
+    reset_calibration_warnings()
+
+
+@contextmanager
+def warnings_catcher():
+    """Record every warning that fires inside the block."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        yield caught
 
 
 def linear_measure(
@@ -99,6 +118,62 @@ class TestFitAndBreakeven:
             run_calibration(workers=4, sizes=(), measure=CROSSING)
 
 
+class TestNonPhysicalFitsAreClamped:
+    """Regression: a negative fitted intercept must not survive.
+
+    The shipped BENCH_crossover.json once carried
+    ``serial_overhead = -0.0012``, making ``predicted_serial()``
+    negative for small batches and skewing ``_breakeven``.
+    """
+
+    #: Serial samples lying exactly on a line with a *negative*
+    #: intercept; sharded on a crossing line with a smaller slope.
+    NEGATIVE_INTERCEPT = staticmethod(
+        linear_measure(-1.2e-3, 1.6e-7, 4.3e-4, 0.4e-7)
+    )
+
+    def test_fitted_overheads_clamp_at_zero(self):
+        calibration = run_calibration(
+            workers=4, measure=self.NEGATIVE_INTERCEPT
+        )
+        assert calibration.serial_overhead == 0.0
+        assert calibration.sharded_overhead == pytest.approx(4.3e-4)
+
+    def test_predicted_costs_are_never_negative(self):
+        calibration = run_calibration(
+            workers=4, measure=self.NEGATIVE_INTERCEPT
+        )
+        for cells in (0, 1, 64, 4096):
+            assert calibration.predicted_serial(cells) >= 0.0
+            assert calibration.predicted_sharded(cells) >= 0.0
+
+    def test_breakeven_uses_the_clamped_intercept(self):
+        # With the raw fit, the crossing would be at
+        # (4.3e-4 - (-1.2e-3)) / (1.6e-7 - 0.4e-7) = 13583.3 cells;
+        # clamping the serial intercept to 0 moves it to
+        # 4.3e-4 / 1.2e-7 = 3583.3 -> ceil 3584. Pin the clamped value.
+        calibration = run_calibration(
+            workers=4, measure=self.NEGATIVE_INTERCEPT
+        )
+        assert calibration.breakeven_cells == 3584
+        assert not calibration.sharded_wins(3583)
+        assert calibration.sharded_wins(3584)
+
+    def test_direct_construction_clamps_too(self):
+        # load_calibration of a legacy file with negative coefficients
+        # goes through the same constructor clamp.
+        calibration = CrossoverCalibration(
+            workers=2,
+            serial_overhead=-0.0012,
+            serial_per_cell=1.6e-7,
+            sharded_overhead=4.3e-4,
+            sharded_per_cell=2.2e-7,
+            breakeven_cells=None,
+        )
+        assert calibration.serial_overhead == 0.0
+        assert calibration.predicted_serial(1) > 0.0
+
+
 class TestPersistence:
     def test_round_trip(self, tmp_path):
         calibration = run_calibration(workers=4, measure=CROSSING)
@@ -114,14 +189,50 @@ class TestPersistence:
         with pytest.raises(FileNotFoundError):
             load_calibration(tmp_path / "absent.json")
 
-    def test_corrupt_file_raises_configuration_error(self, tmp_path):
+    def test_corrupt_file_degrades_to_uncalibrated_with_warning(
+        self, tmp_path
+    ):
+        # Regression: a truncated/garbled file used to raise
+        # ConfigurationError and take the whole context down with it.
         bad = tmp_path / "bad.json"
         bad.write_text("{\"workers\": \"many\"}")
-        with pytest.raises(ConfigurationError, match="invalid calibration"):
-            load_calibration(bad)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert load_calibration(bad) is None
         bad.write_text("not json at all")
-        with pytest.raises(ConfigurationError):
+        reset_calibration_warnings()
+        with pytest.warns(RuntimeWarning, match="continuing uncalibrated"):
+            assert load_calibration(bad) is None
+
+    def test_truncated_write_is_impossible_mid_save(
+        self, tmp_path, monkeypatch
+    ):
+        # Atomicity regression: crash the serializer mid-save and the
+        # previously persisted calibration must survive intact.
+        path = tmp_path / "cal.json"
+        good = run_calibration(workers=4, measure=CROSSING)
+        save_calibration(good, path)
+
+        import os as _os
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_calibration(run_calibration(workers=2, measure=NEVER), path)
+        monkeypatch.undo()
+        assert load_calibration(path) == good
+        # No temp droppings left behind in the directory.
+        assert [p.name for p in tmp_path.iterdir()] == ["cal.json"]
+
+    def test_corrupt_file_warns_only_once(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("]")
+        with pytest.warns(RuntimeWarning):
             load_calibration(bad)
+        with warnings_catcher() as caught:
+            load_calibration(bad)
+        assert caught == []
 
 
 class TestPlannerIntegration:
@@ -225,6 +336,40 @@ class TestContextIntegration:
         assert np.array_equal(
             routed.metrics.delay_50, serial.metrics.delay_50, equal_nan=True
         )
+
+    def test_workers_mismatch_ignores_calibration_with_warning(self):
+        # Regression: a calibration measured at workers=2 used to drive
+        # routing for a context configured with 8 workers.
+        calibration = run_calibration(workers=2, measure=CROSSING)
+        config = RuntimeConfig(workers=8, calibration=calibration)
+        with pytest.warns(RuntimeWarning, match="workers=2"):
+            context = ExecutionContext(config)
+        with context:
+            # The stale model is gone: batch routing falls back to the
+            # static sharded_min_cells threshold.
+            assert context.config.calibration is None
+            decision = context.plan(
+                Workload(kind="batch", tree_size=100, scenarios=100)
+            )
+            assert any("sharded_min_cells" in r for r in decision.reasons)
+            assert context.stats()["calibration_stale"] is True
+
+    def test_matching_workers_keeps_calibration(self):
+        calibration = run_calibration(workers=4, measure=CROSSING)
+        with ExecutionContext(
+            RuntimeConfig(workers=4, calibration=calibration)
+        ) as context:
+            assert context.config.calibration is calibration
+            assert context.stats()["calibration_stale"] is False
+
+    def test_workers_mismatch_warns_once_per_shape(self):
+        calibration = run_calibration(workers=2, measure=CROSSING)
+        config = RuntimeConfig(workers=8, calibration=calibration)
+        with pytest.warns(RuntimeWarning):
+            ExecutionContext(config).close()
+        with warnings_catcher() as caught:
+            ExecutionContext(config).close()
+        assert caught == []
 
     def test_real_measurement_round_trips(self):
         # One genuine (tiny) microbenchmark: whatever this box can do,

@@ -85,6 +85,27 @@ class TestStats:
         context.plan(Workload("table", tree_size=9), backend="compiled")
         assert context.stats()["plans"]["forced"] == 1
 
+    def test_registered_stats_group_rides_along(self, fig5):
+        """The seam the service layer uses: external stat providers."""
+        context = ExecutionContext()
+        calls = {"count": 0}
+
+        def provider():
+            calls["count"] += 1
+            return {"inflight": 3}
+
+        context.add_stats_group("service", provider)
+        stats = context.stats()
+        assert stats["service"] == {"inflight": 3}
+        assert calls["count"] == 1
+
+    def test_registered_group_survives_reset(self, fig5):
+        """A counter reset must not unhook a live service's stats."""
+        context = ExecutionContext()
+        context.add_stats_group("service", lambda: {"up": True})
+        context.reset_stats()
+        assert context.stats()["service"] == {"up": True}
+
 
 class TestLifecycle:
     def test_close_is_idempotent(self):

@@ -1,0 +1,230 @@
+"""The coalescer's correctness contract: bitwise fidelity, isolation.
+
+Coalescing is only admissible because the batch kernels are
+row-independent — merging S point queries into one ``(S, 3, n)`` block
+must change **nothing** about each member's answer. These tests pin
+that, plus the failure-isolation rule: one bad member never poisons its
+group.
+"""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.circuit import fig5_tree
+from repro.engine.compiled import compile_tree
+from repro.errors import ReproError, TopologyError
+from repro.runtime import ExecutionContext
+from repro.service import PointCoalescer
+
+METRICS = ("delay_50", "rise_time", "overshoot", "settling")
+
+
+@pytest.fixture
+def context():
+    with ExecutionContext() as ctx:
+        yield ctx
+
+
+@pytest.fixture
+def executor():
+    pool = ThreadPoolExecutor(max_workers=1)
+    yield pool
+    pool.shutdown(wait=True)
+
+
+def perturbed(compiled, factor: float):
+    """The same topology with all values scaled by ``factor``."""
+    return compiled.with_values(
+        compiled.resistance * factor,
+        compiled.inductance * factor,
+        compiled.capacitance * factor,
+    )
+
+
+def direct_reference(context, compiled, settle_band=0.1):
+    """What a direct one-scenario ExecutionContext call returns."""
+    rlc = np.stack(
+        (compiled.resistance, compiled.inductance, compiled.capacitance)
+    )[None]
+    return context.batch(compiled, rlc, settle_band=settle_band)
+
+
+class TestBitwiseFidelity:
+    def test_single_query_matches_direct_call(self, context, executor):
+        compiled = compile_tree(fig5_tree())
+        coalescer = PointCoalescer(context, executor, window=0.0)
+
+        async def go():
+            return await coalescer.analyze(
+                compiled, 0.1, compiled.names, METRICS
+            )
+
+        result, size = asyncio.run(go())
+        assert size == 1
+        reference = direct_reference(context, compiled)
+        for node in compiled.names:
+            for metric in METRICS:
+                assert (
+                    result[node][metric]
+                    == float(reference.column(metric, node)[0])
+                )
+
+    def test_coalesced_group_is_bitwise_identical_to_direct(
+        self, context, executor
+    ):
+        base = compile_tree(fig5_tree())
+        members = [perturbed(base, f) for f in (0.5, 1.0, 1.7, 2.3, 4.1)]
+        coalescer = PointCoalescer(context, executor, window=0.05)
+
+        async def go():
+            return await asyncio.gather(
+                *[
+                    coalescer.analyze(m, 0.1, m.names, METRICS)
+                    for m in members
+                ]
+            )
+
+        results = asyncio.run(go())
+        # All five queries arrived inside one window: one group.
+        assert coalescer.groups_flushed == 1
+        assert {size for _, size in results} == {len(members)}
+        for member, (result, _) in zip(members, results):
+            reference = direct_reference(context, member)
+            for node in member.names:
+                for metric in METRICS:
+                    assert (
+                        result[node][metric]
+                        == float(reference.column(metric, node)[0])
+                    ), f"{metric}@{node} differs from direct evaluation"
+
+
+class TestGrouping:
+    def test_max_group_flushes_immediately(self, context, executor):
+        compiled = compile_tree(fig5_tree())
+        # A window far longer than the test: only the size trigger can
+        # flush, so resolving at all proves the immediate flush.
+        coalescer = PointCoalescer(
+            context, executor, window=30.0, max_group=2
+        )
+
+        async def go():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    coalescer.analyze(compiled, 0.1, ["n1"], ["delay_50"]),
+                    coalescer.analyze(compiled, 0.1, ["n2"], ["delay_50"]),
+                ),
+                timeout=10.0,
+            )
+
+        results = asyncio.run(go())
+        assert [size for _, size in results] == [2, 2]
+
+    def test_different_settle_bands_do_not_merge(self, context, executor):
+        compiled = compile_tree(fig5_tree())
+        coalescer = PointCoalescer(context, executor, window=0.05)
+
+        async def go():
+            return await asyncio.gather(
+                coalescer.analyze(compiled, 0.1, ["n1"], ["settling"]),
+                coalescer.analyze(compiled, 0.02, ["n1"], ["settling"]),
+            )
+
+        (a, size_a), (b, size_b) = asyncio.run(go())
+        assert size_a == size_b == 1
+        assert coalescer.groups_flushed == 2
+        # And the answers really differ: the band is part of the metric.
+        assert a["n1"]["settling"] != b["n1"]["settling"]
+
+    def test_stats_track_hit_rate(self, context, executor):
+        compiled = compile_tree(fig5_tree())
+        coalescer = PointCoalescer(context, executor, window=0.05)
+
+        async def go():
+            await asyncio.gather(
+                *[
+                    coalescer.analyze(compiled, 0.1, ["n1"], ["delay_50"])
+                    for _ in range(4)
+                ]
+            )
+
+        asyncio.run(go())
+        stats = coalescer.stats()
+        assert stats["requests"] == 4
+        assert stats["groups"] == 1
+        assert stats["coalesced_requests"] == 3
+        assert stats["hit_rate"] == pytest.approx(0.75)
+        assert stats["largest_group"] == 4
+        assert stats["pending"] == 0
+
+    def test_drain_flushes_pending_groups(self, context, executor):
+        compiled = compile_tree(fig5_tree())
+        coalescer = PointCoalescer(context, executor, window=30.0)
+
+        async def go():
+            task = asyncio.ensure_future(
+                coalescer.analyze(compiled, 0.1, ["n1"], ["delay_50"])
+            )
+            await asyncio.sleep(0)  # let the member join its group
+            assert coalescer.pending == 1
+            await coalescer.drain()
+            return await asyncio.wait_for(task, timeout=5.0)
+
+        result, size = asyncio.run(go())
+        assert size == 1
+        assert "delay_50" in result["n1"]
+
+
+class TestFailureIsolation:
+    def test_bad_member_fails_alone(self, context, executor):
+        compiled = compile_tree(fig5_tree())
+        coalescer = PointCoalescer(context, executor, window=0.05)
+
+        async def go():
+            return await asyncio.gather(
+                coalescer.analyze(compiled, 0.1, ["n1"], ["delay_50"]),
+                coalescer.analyze(compiled, 0.1, ["no_such"], ["delay_50"]),
+                coalescer.analyze(compiled, 0.1, ["n4"], ["delay_50"]),
+                return_exceptions=True,
+            )
+
+        good1, bad, good2 = asyncio.run(go())
+        assert isinstance(bad, TopologyError)
+        # The failing member shared a group with the survivors.
+        assert good1[1] == 3 and good2[1] == 3
+        reference = direct_reference(context, compiled)
+        assert (
+            good1[0]["n1"]["delay_50"]
+            == float(reference.column("delay_50", "n1")[0])
+        )
+        assert (
+            good2[0]["n4"]["delay_50"]
+            == float(reference.column("delay_50", "n4")[0])
+        )
+
+    def test_engine_failure_fails_the_whole_group(self, executor):
+        compiled = compile_tree(fig5_tree())
+
+        class BrokenContext:
+            def batch(self, *args, **kwargs):
+                raise ReproError("engine exploded")
+
+        coalescer = PointCoalescer(BrokenContext(), executor, window=0.05)
+
+        async def go():
+            return await asyncio.gather(
+                coalescer.analyze(compiled, 0.1, ["n1"], ["delay_50"]),
+                coalescer.analyze(compiled, 0.1, ["n2"], ["delay_50"]),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(go())
+        assert all(isinstance(r, ReproError) for r in results)
+
+    def test_rejects_bad_parameters(self, context, executor):
+        with pytest.raises(ReproError, match="window"):
+            PointCoalescer(context, executor, window=-1.0)
+        with pytest.raises(ReproError, match="max_group"):
+            PointCoalescer(context, executor, max_group=0)

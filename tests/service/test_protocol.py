@@ -1,0 +1,208 @@
+"""Wire-protocol validation: every malformed body is a clean 400."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import dumps, fig5_tree
+from repro.engine.kernels import METRIC_NAMES
+from repro.service import (
+    BadRequest,
+    decode_json,
+    encode_json,
+    parse_analyze,
+    parse_batch,
+    parse_sweep,
+)
+
+
+@pytest.fixture
+def netlist():
+    return dumps(fig5_tree())
+
+
+class TestJsonCodec:
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(BadRequest, match="not valid JSON"):
+            decode_json(b"{nope")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(BadRequest, match="JSON object"):
+            decode_json(b"[1, 2, 3]")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(BadRequest, match="not valid JSON"):
+            decode_json(b"\xff\xfe")
+
+    def test_floats_round_trip_bitwise(self):
+        # repr-based JSON serialization is exact for every finite
+        # double; this is what makes server responses bitwise-faithful.
+        values = [
+            2.8573571972401615e-11,
+            0.1 + 0.2,
+            5e-324,  # smallest subnormal
+            1.7976931348623157e308,
+            -0.0,
+        ]
+        decoded = json.loads(encode_json({"v": values}))["v"]
+        for sent, received in zip(values, decoded):
+            assert sent == received
+            assert math.copysign(1.0, sent) == math.copysign(1.0, received)
+
+    def test_nan_survives_encoding(self):
+        decoded = json.loads(encode_json({"v": float("nan")}))
+        assert math.isnan(decoded["v"])
+
+
+class TestParseAnalyze:
+    def test_defaults(self, netlist):
+        request = parse_analyze({"netlist": netlist})
+        assert request.nodes == fig5_tree().nodes
+        assert request.metrics == METRIC_NAMES
+        assert request.settle_band == 0.1
+        assert request.session is None
+
+    def test_explicit_fields(self, netlist):
+        request = parse_analyze(
+            {
+                "netlist": netlist,
+                "nodes": ["n1"],
+                "metrics": ["delay_50"],
+                "settle_band": 0.05,
+                "session": "client-7",
+            }
+        )
+        assert request.nodes == ("n1",)
+        assert request.metrics == ("delay_50",)
+        assert request.settle_band == 0.05
+        assert request.session == "client-7"
+
+    def test_missing_netlist(self):
+        with pytest.raises(BadRequest, match="netlist"):
+            parse_analyze({})
+
+    def test_bad_netlist_text(self):
+        with pytest.raises(BadRequest, match="netlist rejected"):
+            parse_analyze({"netlist": "R1 a b not_a_number"})
+
+    @pytest.mark.parametrize("band", [0, 1, -0.1, "wide"])
+    def test_bad_settle_band(self, netlist, band):
+        with pytest.raises(BadRequest, match="settle_band"):
+            parse_analyze({"netlist": netlist, "settle_band": band})
+
+    def test_unknown_metric(self, netlist):
+        with pytest.raises(BadRequest, match="unknown metrics"):
+            parse_analyze({"netlist": netlist, "metrics": ["latency"]})
+
+    def test_empty_metrics(self, netlist):
+        with pytest.raises(BadRequest, match="metrics"):
+            parse_analyze({"netlist": netlist, "metrics": []})
+
+    def test_empty_nodes(self, netlist):
+        with pytest.raises(BadRequest, match="nodes"):
+            parse_analyze({"netlist": netlist, "nodes": []})
+
+    def test_non_string_session(self, netlist):
+        with pytest.raises(BadRequest, match="session"):
+            parse_analyze({"netlist": netlist, "session": 7})
+
+    def test_unknown_nodes_pass_parsing(self, netlist):
+        # Deliberate: unknown nodes surface per-member at extraction so
+        # a coalesced group's other members are unaffected.
+        request = parse_analyze({"netlist": netlist, "nodes": ["nope"]})
+        assert request.nodes == ("nope",)
+
+
+class TestParseBatch:
+    def test_shape_checked_against_tree(self, netlist):
+        n = fig5_tree().size
+        good = np.ones((2, 3, n)).tolist()
+        request = parse_batch({"netlist": netlist, "rlc": good})
+        assert request.rlc.shape == (2, 3, n)
+        with pytest.raises(BadRequest, match="shape"):
+            parse_batch(
+                {"netlist": netlist, "rlc": np.ones((2, 3, n + 1)).tolist()}
+            )
+        with pytest.raises(BadRequest, match="shape"):
+            parse_batch(
+                {"netlist": netlist, "rlc": np.ones((2, n)).tolist()}
+            )
+
+    def test_missing_or_empty_rlc(self, netlist):
+        for payload in ({}, {"rlc": []}, {"rlc": "block"}):
+            with pytest.raises(BadRequest, match="rlc"):
+                parse_batch({"netlist": netlist, **payload})
+
+    def test_non_numeric_rlc(self, netlist):
+        n = fig5_tree().size
+        block = np.ones((1, 3, n)).tolist()
+        block[0][0][0] = "ten"
+        with pytest.raises(BadRequest, match="rlc"):
+            parse_batch({"netlist": netlist, "rlc": block})
+
+
+class TestParseSweep:
+    def base(self, netlist, **extra):
+        payload = {
+            "netlist": netlist,
+            "section": "n1",
+            "element": "resistance",
+            "values": [10.0, 20.0, 30.0],
+        }
+        payload.update(extra)
+        return payload
+
+    def test_explicit_values(self, netlist):
+        request = parse_sweep(self.base(netlist))
+        assert list(request.values) == [10.0, 20.0, 30.0]
+        assert request.section == "n1"
+        assert request.element == "resistance"
+        assert request.chunk == 256
+
+    def test_linspace_values(self, netlist):
+        request = parse_sweep(
+            self.base(
+                netlist, values={"start": 1.0, "stop": 2.0, "points": 5}
+            )
+        )
+        assert request.values.size == 5
+        assert request.values[0] == 1.0
+        assert request.values[-1] == 2.0
+
+    def test_unknown_section(self, netlist):
+        with pytest.raises(BadRequest, match="section"):
+            parse_sweep(self.base(netlist, section="nope"))
+
+    def test_unknown_element(self, netlist):
+        with pytest.raises(BadRequest, match="element"):
+            parse_sweep(self.base(netlist, element="conductance"))
+
+    def test_non_positive_resistance_values(self, netlist):
+        with pytest.raises(BadRequest, match="positive"):
+            parse_sweep(self.base(netlist, values=[10.0, -1.0]))
+
+    def test_zero_inductance_allowed(self, netlist):
+        # L = 0 is the RC limit, a first-class regime of the model.
+        request = parse_sweep(
+            self.base(netlist, element="inductance", values=[0.0, 1e-9])
+        )
+        assert list(request.values) == [0.0, 1e-9]
+
+    def test_bad_linspace_spec(self, netlist):
+        with pytest.raises(BadRequest, match="values"):
+            parse_sweep(self.base(netlist, values={"start": 1.0}))
+
+    def test_bad_chunk(self, netlist):
+        with pytest.raises(BadRequest, match="chunk"):
+            parse_sweep(self.base(netlist, chunk=0))
+
+    def test_scenario_cap(self, netlist):
+        with pytest.raises(BadRequest, match="points"):
+            parse_sweep(
+                self.base(
+                    netlist,
+                    values={"start": 1.0, "stop": 2.0, "points": 10**9},
+                )
+            )

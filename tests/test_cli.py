@@ -339,3 +339,135 @@ class TestRuntimeStatsDump:
     def test_unknown_backend_rejected_by_argparse(self, netlist_path, capsys):
         with pytest.raises(SystemExit):
             main(["analyze", netlist_path, "--backend", "turbo"])
+
+
+class TestServe:
+    """The `repro serve` subcommand: flags, boot, drain."""
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8341
+        assert args.max_inflight == 8
+        assert args.coalesce_window == 0.005
+        assert args.max_requests == 0
+
+    def test_serve_boots_answers_and_drains(self, monkeypatch):
+        import io
+        import json
+        import re
+        import sys
+        import threading
+        import time
+        import urllib.request
+
+        from repro.circuit import dumps, fig5_tree
+
+        stderr = io.StringIO()
+        monkeypatch.setattr(sys, "stderr", stderr)
+        exit_code = {}
+
+        def run():
+            exit_code["value"] = main(
+                ["serve", "--port", "0", "--max-requests", "1"]
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            match = re.search(r"http://[\d.]+:(\d+)", stderr.getvalue())
+            if match:
+                port = int(match.group(1))
+                break
+            time.sleep(0.02)
+        assert port is not None, stderr.getvalue()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/analyze",
+            data=json.dumps(
+                {"netlist": dumps(fig5_tree()), "metrics": ["delay_50"]}
+            ).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            body = json.loads(response.read())
+        assert response.status == 200
+        assert set(body["nodes"]) == set(fig5_tree().nodes)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert exit_code["value"] == 0
+        assert "repro service drained" in stderr.getvalue()
+
+    def test_serve_with_calibration_and_workers(self, monkeypatch, tmp_path):
+        """--calibration/--workers shape the serving context's config."""
+        import io
+        import json
+        import re
+        import sys
+        import threading
+        import time
+        import urllib.request
+
+        from repro.runtime import CrossoverCalibration, save_calibration
+
+        path = tmp_path / "cal.json"
+        save_calibration(
+            CrossoverCalibration(
+                workers=2,
+                serial_overhead=1e-4,
+                serial_per_cell=2e-7,
+                sharded_overhead=5e-4,
+                sharded_per_cell=1e-7,
+                breakeven_cells=4000,
+            ),
+            path=path,
+        )
+        stderr = io.StringIO()
+        monkeypatch.setattr(sys, "stderr", stderr)
+        exit_code = {}
+
+        def run():
+            exit_code["value"] = main(
+                [
+                    "serve", "--port", "0", "--max-requests", "1",
+                    "--workers", "2", "--calibration", str(path),
+                ]
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            match = re.search(r"http://[\d.]+:(\d+)", stderr.getvalue())
+            if match:
+                port = int(match.group(1))
+                break
+            time.sleep(0.02)
+        assert port is not None, stderr.getvalue()
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/stats", timeout=30
+        ) as response:
+            stats = json.loads(response.read())
+        # Matching --workers: the calibration installed cleanly.
+        assert stats["calibration_stale"] is False
+        assert stats["service"]["stats"] == 1
+        # /stats bypasses admission and does not count toward
+        # --max-requests; one admitted request triggers the self-stop.
+        from repro.circuit import dumps, fig5_tree
+
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/analyze",
+            data=json.dumps(
+                {"netlist": dumps(fig5_tree()), "metrics": ["delay_50"]}
+            ).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert exit_code["value"] == 0
