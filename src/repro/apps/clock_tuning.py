@@ -42,6 +42,7 @@ from ..runtime import (
     resolve_context,
     warn_deprecated_alias,
 )
+from ..sweep import clip, compile_sweep, const, run_sweep, scenario_space, values_axis
 
 __all__ = ["TuningResult", "tune_clock_tree", "apply_widths", "model_skew"]
 
@@ -139,6 +140,153 @@ def _objective_and_gradient(
     return objective, gradient
 
 
+class _CascadeObjective:
+    """Backtracking cascades scored as one lazy sweep per iteration.
+
+    The eager descent evaluates backtracking candidates one at a time
+    — propose with ``step``, reject, halve, repeat. But given the
+    current point and gradient, the whole halving cascade is known up
+    front, so all candidates can be scored in *one* chunked batch pass
+    over the compiled nominal structure: the candidate width factors
+    are a clipped expression over a step axis, and accept/reject is a
+    scan over the returned objectives. The factor arithmetic replicates
+    the eager per-name proposal operation for operation (and all four
+    backends answer with bitwise-identical metrics), so the accepted
+    widths, objective trace and iteration counts are identical to the
+    one-at-a-time loop.
+    """
+
+    def __init__(self, nominal: RLCTree, runtime: ExecutionContext):
+        compiled = compile_tree(nominal)
+        self._runtime = runtime
+        self._compiled = compiled
+        self.names = compiled.names
+        self._r0 = const(compiled.resistance)
+        self._l0 = const(compiled.inductance)
+        self._c0 = const(compiled.capacitance)
+        self._sinks = nominal.leaves()
+
+    def __call__(
+        self,
+        width_vec: np.ndarray,
+        grad_vec: np.ndarray,
+        largest: float,
+        steps: List[float],
+        min_width: float,
+        max_width: float,
+    ) -> List[float]:
+        axis = values_axis("step", np.asarray(steps, dtype=float))
+        factors = clip(
+            const(width_vec)
+            * (1.0 - axis.values * const(grad_vec) / largest),
+            min_width,
+            max_width,
+        )
+        sweep = compile_sweep(
+            scenario_space(axis),
+            resistance=self._r0 / factors,
+            inductance=self._l0,
+            capacitance=self._c0 * factors,
+        )
+        result = run_sweep(
+            sweep,
+            self._compiled,
+            nodes=self._sinks,
+            metrics=("delay_50",),
+            chunk_size=len(steps),
+            context=self._runtime,
+        )
+        delays = np.stack(
+            [result.column("delay_50", sink) for sink in self._sinks]
+        )
+        objectives = []
+        for k in range(len(steps)):
+            column = delays[:, k]
+            objectives.append(float(((column - column.mean()) ** 2).sum()))
+        return objectives
+
+
+def _tune_lazy(
+    tree: RLCTree,
+    runtime: ExecutionContext,
+    skew_before: float,
+    iterations: int,
+    initial_step: float,
+    min_width: float,
+    max_width: float,
+    tolerance: float,
+) -> "TuningResult":
+    """Descent with each backtracking cascade scored as one lazy sweep.
+
+    Candidate accounting matches the eager loop exactly: the cascade
+    for one descent point is the halving sequence the eager loop would
+    probe one at a time, capped by the remaining iteration budget, and
+    ``performed`` advances by the number of candidates the eager loop
+    would have burned before accepting (or exhausting) the cascade.
+    """
+    widths: Dict[str, float] = {name: 1.0 for name in tree.nodes}
+    cascade = _CascadeObjective(tree, runtime)
+    names = cascade.names
+    count = len(names)
+    objective = cascade(
+        np.ones(count), np.zeros(count), 1.0, [0.0], min_width, max_width
+    )[0]
+    gradient = _objective_and_gradient(tree, widths)[1]
+    trace: List[float] = [objective]
+    step = initial_step
+    performed = 0
+
+    while performed < iterations:
+        largest = max(abs(g) for g in gradient.values())
+        if largest == 0.0:
+            break
+        steps = [step]
+        while steps[-1] * 0.5 >= 1e-4 and len(steps) < iterations - performed:
+            steps.append(steps[-1] * 0.5)
+        width_vec = np.array([widths.get(name, 1.0) for name in names])
+        grad_vec = np.array([gradient.get(name, 0.0) for name in names])
+        scores = cascade(
+            width_vec, grad_vec, largest, steps, min_width, max_width
+        )
+        accept = next(
+            (k for k, score in enumerate(scores) if score < objective), None
+        )
+        if accept is None:
+            performed += len(steps)
+            step = steps[-1] * 0.5
+            if step < 1e-4:
+                break
+            continue
+        performed += accept + 1
+        step = steps[accept]
+        proposal = {
+            name: float(
+                np.clip(
+                    widths[name] * (1.0 - step * gradient[name] / largest),
+                    min_width,
+                    max_width,
+                )
+            )
+            for name in widths
+        }
+        improvement = (objective - scores[accept]) / objective
+        widths, objective = proposal, scores[accept]
+        trace.append(objective)
+        if improvement < tolerance:
+            break
+        gradient = _objective_and_gradient(tree, widths)[1]
+
+    tuned = apply_widths(tree, widths)
+    return TuningResult(
+        widths=widths,
+        tuned_tree=tuned,
+        skew_before=skew_before,
+        skew_after=model_skew(tuned, context=runtime),
+        objective_trace=tuple(trace),
+        iterations=performed,
+    )
+
+
 @dataclass(frozen=True)
 class TuningResult:
     """Outcome of the width-tuning descent."""
@@ -168,6 +316,7 @@ def tune_clock_tree(
     tolerance: float = 1e-4,
     use_incremental: Optional[bool] = None,
     *,
+    eager: bool = False,
     config: Optional[RuntimeConfig] = None,
     context: Optional[ExecutionContext] = None,
 ) -> TuningResult:
@@ -178,18 +327,22 @@ def tune_clock_tree(
     the objective. Stops early once the skew variance improves by less
     than ``tolerance`` (relative) over an iteration.
 
-    The descent is an edit-stream workload, so by default the runtime
-    planner routes proposal scoring to the delta-update backend: each
-    probe is a bulk value swap plus sink point queries through
-    :class:`_IncrementalObjective` on the compiled nominal structure,
-    and the O(sinks x n) sensitivity gradient is recomputed only at
-    *accepted* points — backtracking probes cost array work instead of
-    full analysis passes. Forcing any non-incremental backend
+    The descent is an edit-stream workload. On the default planner
+    path the whole backtracking cascade of each iteration is scored as
+    *one* lazy sweep (:class:`_CascadeObjective`): the halving sequence
+    the loop would otherwise probe one proposal at a time becomes a
+    step axis, the candidate widths a clipped expression over it, and
+    one chunked batch pass returns every candidate objective — same
+    accepted widths, objective trace and iteration count as the
+    one-at-a-time loop. ``eager=True`` keeps the original per-proposal
+    probing through :class:`_IncrementalObjective` (bulk value swap
+    plus sink point queries on the delta-update backend). Forcing any
+    non-incremental backend
     (``config=RuntimeConfig(backend="compiled")``) falls back to the
-    original per-proposal :func:`delay_sensitivities` evaluation.
+    per-proposal :func:`delay_sensitivities` evaluation.
 
     ``use_incremental`` is a deprecated alias: ``True`` forces the
-    probe path, ``False`` forces the per-proposal evaluation.
+    eager probe path, ``False`` forces the per-proposal evaluation.
     """
     if tree.size == 0 or len(tree.leaves()) < 2:
         raise ReproError("tuning needs a tree with at least two sinks")
@@ -213,8 +366,20 @@ def tune_clock_tree(
     else:
         use_probe = use_incremental
 
-    widths: Dict[str, float] = {name: 1.0 for name in tree.nodes}
     skew_before = model_skew(tree, context=runtime)
+    if use_probe and use_incremental is None and not eager:
+        return _tune_lazy(
+            tree,
+            runtime,
+            skew_before,
+            iterations,
+            initial_step,
+            min_width,
+            max_width,
+            tolerance,
+        )
+
+    widths: Dict[str, float] = {name: 1.0 for name in tree.nodes}
     probe = _IncrementalObjective(tree, runtime) if use_probe else None
     if probe is not None:
         objective = probe(widths)

@@ -38,6 +38,14 @@ from ..runtime import (
 )
 from ..simulation.exact import ExactSimulator
 from ..simulation.measures import delay_50 as measure_delay_50
+from ..sweep import (
+    DEFAULT_CHUNK,
+    compile_sweep,
+    const,
+    iter_sweep,
+    lognormal_factors,
+    scenario_space,
+)
 
 __all__ = [
     "VariationModel",
@@ -155,6 +163,49 @@ class VariationStudy:
         return float(rho)
 
 
+def _factor_prefix(
+    sig: np.ndarray, sections: int, count: int, seed: int
+) -> np.ndarray:
+    """The first ``count`` ``(3, n)`` factor rows of a seed's draw stream.
+
+    A fresh generator's first ``count * n * 3`` normals are a bitwise
+    prefix of any longer draw from the same seed, so these rows are
+    exactly the rows the batched paths saw — without re-materializing
+    the full ``(S, 3, n)`` factor block.
+    """
+    rng = np.random.default_rng(seed)
+    z = rng.standard_normal((count, sections, 3))
+    return np.exp(-0.5 * sig * sig + sig * z).transpose(0, 2, 1)
+
+
+def _staged_factor_values(
+    sections: int,
+    sig: np.ndarray,
+    nominal: np.ndarray,
+    samples: int,
+    seed: int,
+    stage: int,
+) -> np.ndarray:
+    """The eager ``(S, 3, n)`` value block, materialized in stages.
+
+    Draws land stage by stage through one generator, so only one
+    stage's raw normals and factors are alive on top of the output
+    block — the one-shot expression ``exp(...) * nominal`` held three
+    full ``(S, 3, n)`` intermediates (``z``, the factors and the
+    product) at peak. Generator streams are prefix-stable, so the
+    staged block is bitwise identical to the one-shot draw.
+    """
+    rng = np.random.default_rng(seed)
+    values = np.empty((samples, 3, sections))
+    for lo in range(0, samples, stage):
+        hi = min(lo + stage, samples)
+        z = rng.standard_normal((hi - lo, sections, 3))
+        values[lo:hi] = (
+            np.exp(-0.5 * sig * sig + sig * z).transpose(0, 2, 1) * nominal
+        )
+    return values
+
+
 def _tree_from_factors(
     tree: RLCTree, names: Tuple[str, ...], factors: np.ndarray
 ) -> RLCTree:
@@ -182,22 +233,29 @@ def sample_delays(
     seed: int = 0,
     workers: Optional[int] = None,
     *,
+    chunk_size: Optional[int] = None,
+    eager: bool = False,
     config: Optional[RuntimeConfig] = None,
     context: Optional[ExecutionContext] = None,
 ) -> VariationStudy:
     """Monte-Carlo delay distribution at ``node``.
 
-    The closed-form samples are evaluated as one batch over the compiled
-    topology: the tree is flattened once, all S log-normal factor draws
-    land in an ``(S, 3, n)`` block, and every sample's
-    ``delay_50``/Elmore delay comes out of a single vectorized pass
-    instead of S tree rebuilds and analyzer runs. The batch dispatches
-    through the execution runtime
-    (:meth:`repro.runtime.ExecutionContext.batch`), which routes large
-    batches to the sharded worker pool when the runtime config allows
-    workers; the RNG draws stay in this process, so the factor block —
-    and therefore every delay sample — is bitwise identical for any
-    backend and worker count.
+    The study is built as a *lazy sweep* (:mod:`repro.sweep`): the tree
+    is flattened once, the log-normal factor draws become a sequential
+    scenario axis, and the ``(chunk, 3, n)`` value blocks are staged
+    and evaluated chunk by chunk through the execution runtime — each
+    chunk routed across the calibrated serial/sharded crossover — so
+    peak value-matrix memory is ``O(chunk_size x n)`` rather than
+    ``O(samples x n)``. The RNG stream is drawn chunk by chunk from one
+    seeded generator whose concatenated blocks are bitwise the single
+    eager draw, so every delay sample is bitwise identical for any
+    ``chunk_size``, backend and worker count.
+
+    ``eager=True`` is the escape hatch onto the materialized path: the
+    full ``(S, 3, n)`` block is built (staged ``chunk_size`` rows at a
+    time so the construction itself never holds duplicate full-size
+    intermediates) and evaluated as one batch. Same bits, eager memory
+    profile.
 
     ``workers`` is a deprecated alias for
     ``config=RuntimeConfig(workers=...)``.
@@ -226,23 +284,53 @@ def sample_delays(
         )
         if context is None:
             config = (config or RuntimeConfig()).with_workers(workers)
+    chunk = DEFAULT_CHUNK if chunk_size is None else int(chunk_size)
+    if chunk < 1:
+        raise ConfigurationError(
+            f"chunk_size must be positive, got {chunk}"
+        )
     runtime = resolve_context(context, config)
-    rng = np.random.default_rng(seed)
     compiled = compile_tree(tree)
-    # Draw in (sample, section, element) order with the same expression
-    # as VariationModel.sample_tree, so the factor block is bitwise
-    # identical to what the per-sample loop would have produced.
+    # Draws happen in (sample, section, element) order with the same
+    # expression as VariationModel.sample_tree, so the factor rows are
+    # bitwise identical to what the per-sample loop would produce.
     sig = np.asarray(variation.log_sigmas())
-    z = rng.standard_normal((samples, compiled.size, 3))
-    factors = np.exp(-0.5 * sig * sig + sig * z).transpose(0, 2, 1)
     nominal = np.stack(
         [compiled.resistance, compiled.inductance, compiled.capacitance]
     )
-    batch = runtime.batch(
-        compiled, factors * nominal, metrics=("delay_50", "t_rc")
-    )
-    rlc = batch.column("delay_50", node)
-    rc = math.log(2.0) * batch.column("t_rc", node)
+    rlc = np.empty(samples)
+    rc = np.empty(samples)
+    if eager:
+        values = _staged_factor_values(
+            compiled.size, sig, nominal, samples, seed, stage=chunk
+        )
+        batch = runtime.batch(compiled, values, metrics=("delay_50", "t_rc"))
+        rlc[:] = batch.column("delay_50", node)
+        rc[:] = math.log(2.0) * batch.column("t_rc", node)
+    else:
+        axis = lognormal_factors(
+            "variation",
+            sigmas=sig,
+            sections=compiled.size,
+            samples=samples,
+            seed=seed,
+        )
+        sweep = compile_sweep(
+            scenario_space(axis),
+            resistance=axis.resistance * const(nominal[0]),
+            inductance=axis.inductance * const(nominal[1]),
+            capacitance=axis.capacitance * const(nominal[2]),
+        )
+        for lo, batch in iter_sweep(
+            sweep,
+            compiled,
+            chunk_size=chunk,
+            metrics=("delay_50", "t_rc"),
+            context=runtime,
+        ):
+            hi = lo + batch.scenarios
+            rlc[lo:hi] = batch.column("delay_50", node)
+            rc[lo:hi] = math.log(2.0) * batch.column("t_rc", node)
     if not (np.all(np.isfinite(rlc)) and np.all(np.isfinite(rc))):
         # Log-normal factors keep values positive, so this means the
         # nominal tree itself was out of the closed forms' domain.
@@ -251,11 +339,17 @@ def sample_delays(
             "closed-form domain; check the nominal element values"
         )
     exact = np.empty(exact_samples)
-    for index in range(exact_samples):
-        perturbed = _tree_from_factors(tree, compiled.names, factors[index])
-        simulator = ExactSimulator(perturbed)
-        t = simulator.time_grid(points=4001, span_factor=12.0)
-        exact[index] = measure_delay_50(t, simulator.step_response(node, t))
+    if exact_samples:
+        prefix = _factor_prefix(sig, compiled.size, exact_samples, seed)
+        for index in range(exact_samples):
+            perturbed = _tree_from_factors(
+                tree, compiled.names, prefix[index]
+            )
+            simulator = ExactSimulator(perturbed)
+            t = simulator.time_grid(points=4001, span_factor=12.0)
+            exact[index] = measure_delay_50(
+                t, simulator.step_response(node, t)
+            )
     return VariationStudy(
         node=node,
         rlc=DelaySamples(values=rlc),

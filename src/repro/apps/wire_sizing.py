@@ -45,6 +45,14 @@ from ..runtime import (
     resolve_context,
     warn_deprecated_alias,
 )
+from ..sweep import (
+    DEFAULT_CHUNK,
+    compile_sweep,
+    const,
+    iter_sweep,
+    scenario_space,
+    values_axis,
+)
 
 __all__ = [
     "WireSizingProblem",
@@ -198,6 +206,57 @@ class SizingResult:
     evaluations: int
 
 
+def _width_sweep(problem: WireSizingProblem, widths, model: DelayModel):
+    """The width grid as a compiled lazy sweep over the shared template.
+
+    The per-section expressions replicate
+    :meth:`WireSizingProblem.value_vectors` operation for operation
+    (which is itself pinned bitwise against ``compile_tree(
+    problem.tree(w, model))`` extraction). The driver/sink slot
+    overrides are written as mask arithmetic — ``x * 1.0 + 0.0 == x``
+    and ``x * 0.0 + c == c`` exactly for finite ``x`` — so every
+    scenario row is bitwise the row the eager path stacks.
+    """
+    template = _compiled_template(problem, model)
+    topology = template.topology
+    n = topology.size
+    drv = topology.node_index("drv")
+    snk = topology.node_index(problem.sink())
+
+    axis = values_axis("width", np.asarray(widths, dtype=float))
+    w = axis.values
+    sections = problem.num_sections
+    r_sec = const(problem.r_sheet * problem.length) / w / sections
+    if model == "rlc":
+        l_sec = (
+            const(problem.l0 * problem.length)
+            / (1.0 + const(problem.l_taper) * w)
+            / sections
+        )
+    else:
+        l_sec = const(0.0)
+    c_sec = (
+        (const(problem.c_area) * w + const(problem.c_fringe))
+        * problem.length
+        / sections
+    )
+    wire = np.ones(n)
+    wire[drv] = 0.0
+    r_over = np.zeros(n)
+    r_over[drv] = problem.driver_resistance
+    c_mask = np.ones(n)
+    c_mask[drv] = 0.0
+    c_over = np.zeros(n)
+    c_over[drv] = 1e-18
+    c_over[snk] = problem.load_capacitance
+    return template, compile_sweep(
+        scenario_space(axis),
+        resistance=r_sec * const(wire) + const(r_over),
+        inductance=l_sec * const(wire),
+        capacitance=c_sec * const(c_mask) + const(c_over),
+    )
+
+
 @shielded
 def sweep_widths(
     problem: WireSizingProblem,
@@ -205,6 +264,8 @@ def sweep_widths(
     model: DelayModel = "rlc",
     workers: Optional[int] = None,
     *,
+    chunk_size: Optional[int] = None,
+    eager: bool = False,
     config: Optional[RuntimeConfig] = None,
     context: Optional[ExecutionContext] = None,
 ) -> np.ndarray:
@@ -213,17 +274,22 @@ def sweep_widths(
     The presweep companion to :func:`optimize_width`: design-space
     exploration evaluates the delay on a whole width grid (sensitivity
     maps, pareto plots, seeding the scalar search), and every width
-    shares one topology — exactly the scenario-batch shape.
+    shares one topology — exactly the scenario-sweep shape.
 
-    The ``(S, 3, n)`` value block built from the per-width trees
-    dispatches through the execution runtime
-    (:meth:`repro.runtime.ExecutionContext.batch`): small grids run on
-    the in-process compiled kernels, large grids shard across the
-    worker pool when the runtime config allows workers. The block rows
-    are the identical value vectors every path extracts, and the
-    sharded kernels replicate the serial arithmetic operation for
-    operation, so the returned delays are **bitwise identical**
-    whichever backend the planner picks.
+    The grid is built as a *lazy sweep* (:mod:`repro.sweep`) over the
+    problem's compiled template: the width axis and the per-section
+    ``R/L/C`` expressions replicate the tree-extraction arithmetic, the
+    executor stages bounded ``(chunk, 3, n)`` blocks, and each chunk
+    dispatches through the execution runtime's calibrated
+    serial/sharded crossover. The staged rows are the identical value
+    vectors every path extracts and the sharded kernels replicate the
+    serial arithmetic operation for operation, so the returned delays
+    are **bitwise identical** whichever backend the planner picks, for
+    any ``chunk_size``.
+
+    ``eager=True`` is the escape hatch onto the materialized path: one
+    compiled tree per width, one stacked ``(S, 3, n)`` block, one batch
+    dispatch. Same bits, eager memory profile.
 
     ``workers`` is a deprecated alias for
     ``config=RuntimeConfig(workers=...)``.
@@ -243,15 +309,31 @@ def sweep_widths(
     for width in widths:
         problem._check_width(width)
 
-    compiled = [compile_tree(problem.tree(w, model)) for w in widths]
-    block = np.stack(
-        [
-            np.stack([ct.resistance, ct.inductance, ct.capacitance])
-            for ct in compiled
-        ]
-    )
-    batch = runtime.batch(compiled[0], block, metrics=("delay_50",))
-    delays = batch.column("delay_50", problem.sink())
+    if eager:
+        compiled = [compile_tree(problem.tree(w, model)) for w in widths]
+        block = np.stack(
+            [
+                np.stack([ct.resistance, ct.inductance, ct.capacitance])
+                for ct in compiled
+            ]
+        )
+        batch = runtime.batch(compiled[0], block, metrics=("delay_50",))
+        delays = batch.column("delay_50", problem.sink())
+    else:
+        template, sweep = _width_sweep(problem, widths, model)
+        chunk = DEFAULT_CHUNK if chunk_size is None else int(chunk_size)
+        delays = np.empty(len(widths))
+        sink = problem.sink()
+        for lo, batch in iter_sweep(
+            sweep,
+            template,
+            chunk_size=chunk,
+            metrics=("delay_50",),
+            context=runtime,
+        ):
+            delays[lo : lo + batch.scenarios] = batch.column(
+                "delay_50", sink
+            )
     if not np.all(np.isfinite(delays)):
         raise ElementValueError(
             "width sweep produced non-finite delays; the sized wire left "

@@ -157,6 +157,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fit.add_argument("--metric", choices=("delay", "rise"), default="delay")
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="sweep one element of one section through the chunked "
+        "lazy executor (CSV to stdout, streamed per chunk)",
+    )
+    sweep.add_argument("netlist", help="netlist file, or - for stdin")
+    sweep.add_argument(
+        "--section", required=True, metavar="NAME",
+        help="section whose element is swept",
+    )
+    sweep.add_argument(
+        "--element",
+        choices=("resistance", "inductance", "capacitance"),
+        default="resistance",
+    )
+    sweep.add_argument(
+        "--start", required=True,
+        help="first swept value (units accepted, e.g. 10 or 50m)",
+    )
+    sweep.add_argument(
+        "--stop", required=True, help="last swept value",
+    )
+    sweep.add_argument(
+        "--points", type=int, default=101,
+        help="number of swept values (default 101)",
+    )
+    sweep.add_argument(
+        "--log", action="store_true",
+        help="logarithmic spacing instead of linear",
+    )
+    sweep.add_argument(
+        "--node", action="append", default=None,
+        help="observation nodes (repeatable; default: all leaves)",
+    )
+    sweep.add_argument(
+        "--metric", action="append", default=None,
+        help="batch metrics to emit (repeatable; default: delay_50)",
+    )
+    sweep.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="scenarios staged per batch pass; bounds peak memory "
+        "(default: the executor's default chunk)",
+    )
+    sweep.add_argument(
+        "--settle-band", type=float, default=0.1,
+        help="settling band as a fraction of final value (default 0.1)",
+    )
+    sweep.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="force the execution backend for every chunk "
+        "(default: planner-routed per chunk)",
+    )
+
     serve = commands.add_parser(
         "serve",
         help="long-lived analysis service: one warm runtime context "
@@ -378,6 +431,72 @@ def _cmd_fit(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .engine import compile_tree
+    from .sweep import (
+        DEFAULT_CHUNK,
+        compile_sweep,
+        const,
+        iter_sweep,
+        linspace,
+        log_sample,
+        scenario_space,
+    )
+
+    tree = _read_tree(args.netlist)
+    compiled = compile_tree(tree)
+    slot = compiled.topology.node_index(args.section)
+    start = parse_value(args.start)
+    stop = parse_value(args.stop)
+    make_axis = log_sample if args.log else linspace
+    axis = make_axis("value", start, stop, args.points)
+
+    # Masked-expression override of the swept slot: the axis value
+    # lands on the swept section (x * 1 + 0 == x), the nominal vector
+    # survives everywhere else (x * 0 + base == base).
+    hot = np.zeros(compiled.size)
+    hot[slot] = 1.0
+    base = {
+        "resistance": compiled.resistance,
+        "inductance": compiled.inductance,
+        "capacitance": compiled.capacitance,
+    }
+    masked = base[args.element].copy()
+    masked[slot] = 0.0
+    roots = {element: const(vector) for element, vector in base.items()}
+    roots[args.element] = axis.values * const(hot) + const(masked)
+    sweep = compile_sweep(scenario_space(axis), **roots)
+
+    nodes = args.node if args.node else list(tree.leaves())
+    metrics = tuple(args.metric) if args.metric else ("delay_50",)
+    chunk = DEFAULT_CHUNK if args.chunk_size is None else args.chunk_size
+    print(
+        "value,"
+        + ",".join(f"{metric}:{node}" for metric in metrics for node in nodes)
+    )
+    for offset, batch in iter_sweep(
+        sweep,
+        compiled,
+        chunk_size=chunk,
+        settle_band=args.settle_band,
+        metrics=metrics,
+        backend=args.backend,
+        context=args.runtime,
+    ):
+        values = sweep.space.axis_chunk(
+            axis, offset, offset + batch.scenarios
+        )
+        columns = [
+            batch.column(metric, node)
+            for metric in metrics
+            for node in nodes
+        ]
+        for i, value in enumerate(values):
+            cells = ",".join(f"{column[i]:.9g}" for column in columns)
+            print(f"{value:.9g},{cells}")
+    return 0
+
+
 def _cmd_window(args) -> int:
     geometry = WireGeometry(
         width=parse_value(args.width),
@@ -445,6 +564,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sensitivity": _cmd_sensitivity,
     "fit": _cmd_fit,
+    "sweep": _cmd_sweep,
     "window": _cmd_window,
     "serve": _cmd_serve,
 }
@@ -467,6 +587,7 @@ def _print_cache_info(runtime: ExecutionContext) -> None:
         "pool",
         "supervision",
         "transport",
+        "sweep",
     ):
         counters = stats[group]
         body = ", ".join(f"{key}={value}" for key, value in counters.items())

@@ -12,6 +12,13 @@ compiled topology and ``(S, n)`` value matrices (or a stacked
 array pass — the shape of Monte-Carlo variation, sweep-based sizing and
 tuning workloads, where the tree's structure never changes and only the
 element values do.
+
+:func:`iter_analyze_batch` is the chunked form of the same pass: a
+caller-supplied ``fill`` stages scenario blocks into one reused
+``(chunk, 3, n)`` buffer and each block is evaluated as it lands, so
+arbitrarily large sweeps run with ``O(chunk x n)`` peak value-matrix
+memory. The lazy sweep layer (:mod:`repro.sweep`) drives all its
+execution through this entry point.
 """
 
 from __future__ import annotations
@@ -33,7 +40,14 @@ from .kernels import (
     validate_settle_band,
 )
 
-__all__ = ["TimingTable", "BatchTiming", "evaluate", "analyze_batch", "timing_table"]
+__all__ = [
+    "TimingTable",
+    "BatchTiming",
+    "evaluate",
+    "analyze_batch",
+    "iter_analyze_batch",
+    "timing_table",
+]
 
 #: Metric-name aliases accepted by the ``value``/``column`` accessors;
 #: keys include the guarded pipeline's metric names.
@@ -371,3 +385,67 @@ def analyze_batch(
         settle_band=settle_band,
         metrics=metrics_from_sums(t_rc, t_lc, settle_band, select=select),
     )
+
+
+def iter_analyze_batch(
+    compiled: CompiledTree,
+    fill,
+    scenarios: int,
+    *,
+    chunk_size: int,
+    settle_band: float = 0.1,
+    metrics: Optional[Sequence[str]] = None,
+    evaluate=None,
+):
+    """Chunked :func:`analyze_batch`: stream scenario blocks through one
+    reused staging buffer.
+
+    ``fill(view, lo, hi)`` writes scenario rows ``[lo, hi)`` into
+    ``view`` — shape ``(hi - lo, 3, n)``, a slice of one preallocated
+    buffer reused for every chunk — so peak value-matrix memory is
+    ``O(chunk_size x n)`` however large ``scenarios`` is. Yields
+    ``(lo, BatchTiming)`` pairs in offset order; the chunk results are
+    bitwise identical to the corresponding rows of one eager
+    :func:`analyze_batch` over the full block.
+
+    ``evaluate(view, lo, hi)`` overrides per-chunk evaluation — the
+    runtime's sweep dispatcher routes each chunk through its planned
+    backend this way; the default evaluates in process via
+    :func:`analyze_batch`. The staged slice is only valid until the
+    next chunk is staged, matching :class:`BatchTiming`'s
+    no-input-retention contract.
+
+    Arguments are validated eagerly at call time, not at first
+    iteration.
+    """
+    validate_settle_band(settle_band)
+    scenarios = int(scenarios)
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ReductionError(
+            f"chunk_size must be positive, got {chunk_size}"
+        )
+    if scenarios < 0:
+        raise ReductionError(
+            f"scenario count must be non-negative, got {scenarios}"
+        )
+
+    def chunks():
+        if scenarios == 0:
+            return
+        buffer = np.empty((min(chunk_size, scenarios), 3, compiled.size))
+        for lo in range(0, scenarios, chunk_size):
+            hi = min(lo + chunk_size, scenarios)
+            view = buffer[: hi - lo]
+            fill(view, lo, hi)
+            if evaluate is None:
+                yield lo, analyze_batch(
+                    compiled,
+                    view,
+                    settle_band=settle_band,
+                    metrics=metrics,
+                )
+            else:
+                yield lo, evaluate(view, lo, hi)
+
+    return chunks()

@@ -45,6 +45,7 @@ __all__ = [
     "CAP_BATCH",
     "CAP_EDIT",
     "CAP_MANY",
+    "CAP_SWEEP",
     "Backend",
     "SessionState",
     "BackendRegistry",
@@ -52,12 +53,13 @@ __all__ = [
 ]
 
 #: Capability labels: scalar point-query, full-table, batch ``S x n``,
-#: edit-stream, multi-tree.
+#: edit-stream, multi-tree, chunked lazy sweep.
 CAP_POINT = "point"
 CAP_TABLE = "table"
 CAP_BATCH = "batch"
 CAP_EDIT = "edit"
 CAP_MANY = "many"
+CAP_SWEEP = "sweep"
 
 TreeSource = Union[RLCTree, CompiledTree]
 
@@ -275,7 +277,7 @@ class CompiledBackend(Backend):
 
     name = "compiled"
     capabilities = frozenset(
-        {CAP_POINT, CAP_TABLE, CAP_BATCH, CAP_EDIT, CAP_MANY}
+        {CAP_POINT, CAP_TABLE, CAP_BATCH, CAP_EDIT, CAP_MANY, CAP_SWEEP}
     )
 
     def open(self, source, settle_band, config):
@@ -336,7 +338,9 @@ class ShardedBackend(Backend):
     """
 
     name = "sharded"
-    capabilities = frozenset({CAP_POINT, CAP_TABLE, CAP_BATCH, CAP_MANY})
+    capabilities = frozenset(
+        {CAP_POINT, CAP_TABLE, CAP_BATCH, CAP_MANY, CAP_SWEEP}
+    )
 
     def open(self, source, settle_band, config):
         result = analyze_many(

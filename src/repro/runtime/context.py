@@ -12,6 +12,10 @@ pipeline all go through it:
   (or forced);
 * :meth:`ExecutionContext.batch` / :meth:`ExecutionContext.analyze_many`
   — scenario-batch and multi-tree work;
+* :meth:`ExecutionContext.sweep_chunks` — chunked lazy sweeps: every
+  staged scenario block is planned and dispatched individually as a
+  ``"sweep"`` workload, so the calibrated serial/sharded crossover
+  applies per chunk;
 * :meth:`ExecutionContext.track` — an instrumentation hook for code
   that drives engine primitives directly but still wants its work
   counted on the one surface;
@@ -34,7 +38,7 @@ from ..circuit.tree import RLCTree
 from ..engine.compiled import CompiledTree
 from ..engine.incremental import IncrementalAnalyzer
 from ..engine.sharded import ShardError
-from ..engine.table import BatchTiming, TimingTable
+from ..engine.table import BatchTiming, TimingTable, iter_analyze_batch
 from ..errors import DispatchError
 from .backends import BackendRegistry, SessionState, default_registry
 from .breaker import BreakerBoard
@@ -341,6 +345,64 @@ class ExecutionContext:
                     compiled, rlc, settle_band, metrics, self._config
                 ),
             )
+
+    def sweep_chunks(
+        self,
+        compiled: CompiledTree,
+        fill: Callable[[np.ndarray, int, int], None],
+        scenarios: int,
+        *,
+        chunk_size: int,
+        settle_band: float = 0.1,
+        metrics: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
+        provenance: Optional[dict] = None,
+    ):
+        """Stream an S-scenario sweep as chunked batch dispatches.
+
+        The lazy-sweep executor (:func:`repro.sweep.iter_sweep`) comes
+        through here: ``fill(view, lo, hi)`` stages scenario rows
+        ``[lo, hi)`` into one reused ``(chunk, 3, n)`` buffer (see
+        :func:`~repro.engine.table.iter_analyze_batch`) and every
+        staged chunk is planned and dispatched *individually* as a
+        ``"sweep"`` workload — the calibrated serial/sharded crossover
+        decides per chunk, each chunk's backend and staged bytes land
+        in ``stats()["sweep"]``, and a breaker tripping mid-sweep
+        degrades the remaining chunks without losing the stream.
+        ``provenance`` carries the sweep compiler's CSE counters into
+        the same stats group. Returns an iterator of ``(offset,
+        BatchTiming)`` pairs in offset order.
+        """
+        size = compiled.topology.size
+        self._stats.record_sweep_run(provenance or {})
+
+        def evaluate(view: np.ndarray, lo: int, hi: int) -> BatchTiming:
+            workload = Workload(
+                kind="sweep", tree_size=size, scenarios=hi - lo
+            )
+            decision = self.plan(workload, backend)
+            adapter = self._registry.get(decision.backend)
+            with self._stats.record(decision.backend, "sweep"):
+                result = self._dispatch(
+                    decision,
+                    lambda: adapter.batch(
+                        compiled, view, settle_band, metrics, self._config
+                    ),
+                )
+            self._stats.record_sweep_chunk(
+                decision.backend, int(view.nbytes)
+            )
+            return result
+
+        return iter_analyze_batch(
+            compiled,
+            fill,
+            scenarios,
+            chunk_size=chunk_size,
+            settle_band=settle_band,
+            metrics=metrics,
+            evaluate=evaluate,
+        )
 
     def analyze_many(
         self,

@@ -20,6 +20,7 @@ many      otherwise                                     compiled
 batch     calibrated: ``cells >= breakeven_cells``      sharded
 batch     ``workers > 1`` and ``cells >= min_cells``    sharded
 batch     otherwise                                     compiled
+sweep     same rules as ``batch``, per chunk            sharded/compiled
 table     always (one vectorized pass)                  compiled
 point     ``tree_size <= point_scalar_max``             scalar
 point     otherwise                                     compiled
@@ -52,10 +53,17 @@ _DEGRADE = {"sharded": "compiled", "compiled": "scalar"}
 
 #: Workload kinds the scalar backend cannot serve — their degradation
 #: chain bottoms out at ``compiled``.
-_COMPILED_FLOOR = frozenset({"batch", "many", "table", "edit"})
+_COMPILED_FLOOR = frozenset({"batch", "many", "table", "edit", "sweep"})
 
-#: The five workload shapes the runtime routes.
-WORKLOAD_KINDS: Tuple[str, ...] = ("point", "table", "batch", "edit", "many")
+#: The six workload shapes the runtime routes.
+WORKLOAD_KINDS: Tuple[str, ...] = (
+    "point",
+    "table",
+    "batch",
+    "edit",
+    "many",
+    "sweep",
+)
 
 
 @dataclass(frozen=True)
@@ -65,8 +73,11 @@ class Workload:
     ``kind`` is one of :data:`WORKLOAD_KINDS`: ``"point"`` (one metric
     at one node), ``"table"`` (every metric at every node of one tree),
     ``"batch"`` (``scenarios`` value-rows over one topology),
-    ``"edit"`` (a stream of element edits interleaved with queries) and
-    ``"many"`` (independent, possibly heterogeneous trees).
+    ``"edit"`` (a stream of element edits interleaved with queries),
+    ``"many"`` (independent, possibly heterogeneous trees) and
+    ``"sweep"`` (one staged chunk of a lazy scenario sweep —
+    ``scenarios`` rows over one topology, planned chunk by chunk so
+    the serial/sharded crossover applies per block).
     """
 
     kind: str
@@ -198,7 +209,7 @@ def plan(
                 f"{workload.tree_count} tree(s) in-process "
                 f"(workers={config.workers}) -> serial vectorized"
             )
-    elif workload.kind == "batch":
+    elif workload.kind in ("batch", "sweep"):
         calibration = config.calibration
         if calibration is not None:
             # A measured crossover beats the static guess: route by the

@@ -26,6 +26,13 @@ class RuntimeStats:
         self._phase_seconds: Dict[str, float] = {}
         self._plans = {"auto": 0, "forced": 0, "degraded": 0}
         self._pool_dispatches = 0
+        self._sweep_runs = 0
+        self._sweep_chunks = 0
+        self._sweep_cse_hits = 0
+        self._sweep_unique_nodes = 0
+        self._sweep_total_refs = 0
+        self._sweep_peak_chunk_bytes = 0
+        self._sweep_backends: Dict[str, int] = {}
         self._groups: Dict[str, Callable[[], dict]] = {}
 
     # -- recording ---------------------------------------------------------
@@ -61,6 +68,27 @@ class RuntimeStats:
                 self._phase_seconds.get(kind, 0.0) + elapsed
             )
 
+    def record_sweep_run(self, provenance: Dict[str, int]) -> None:
+        """Count one lazy-sweep run and fold in its compiler counters.
+
+        ``provenance`` carries the compiled sweep's ``cse_hits`` /
+        ``unique_nodes`` / ``total_refs`` (missing keys count zero).
+        """
+        self._sweep_runs += 1
+        self._sweep_cse_hits += int(provenance.get("cse_hits", 0))
+        self._sweep_unique_nodes += int(provenance.get("unique_nodes", 0))
+        self._sweep_total_refs += int(provenance.get("total_refs", 0))
+
+    def record_sweep_chunk(self, backend: str, staged_bytes: int) -> None:
+        """Count one executed sweep chunk and its staged-buffer size."""
+        self._sweep_chunks += 1
+        self._sweep_backends[backend] = (
+            self._sweep_backends.get(backend, 0) + 1
+        )
+        self._sweep_peak_chunk_bytes = max(
+            self._sweep_peak_chunk_bytes, int(staged_bytes)
+        )
+
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict]:
@@ -75,10 +103,13 @@ class RuntimeStats:
         context, live shared-memory blocks process-wide),
         ``"supervision"`` (the dispatch layer's process-wide failure
         telemetry: timeouts, retries, rebuilds, worker deaths, serial
-        fallbacks, per-worker failure counts) and ``"transport"`` (the
+        fallbacks, per-worker failure counts), ``"transport"`` (the
         zero-copy story made observable: bytes pickled to and from
         workers, arena-segment reuse hits and each persistent arena's
-        capacity/generation).
+        capacity/generation) and ``"sweep"`` (the lazy-sweep executor:
+        runs and chunks executed, the compiler's CSE hit/node/ref
+        tallies, the largest staged chunk in bytes and per-backend
+        chunk counts).
         """
         from ..engine import cache_info
         from ..engine.dispatch import (
@@ -108,6 +139,15 @@ class RuntimeStats:
                 "bytes_returned": telemetry["bytes_returned"],
                 "arena_hits": telemetry["arena_hits"],
                 "arenas": arena_info(),
+            },
+            "sweep": {
+                "runs": self._sweep_runs,
+                "chunks": self._sweep_chunks,
+                "cse_hits": self._sweep_cse_hits,
+                "unique_nodes": self._sweep_unique_nodes,
+                "total_refs": self._sweep_total_refs,
+                "peak_chunk_bytes": self._sweep_peak_chunk_bytes,
+                "backends": dict(self._sweep_backends),
             },
         }
         for name, provider in self._groups.items():

@@ -247,6 +247,8 @@ def parse_sweep(payload: dict) -> SweepRequest:
             "field 'values' must be a non-empty list or a "
             "start/stop/points object"
         )
+    if not np.all(np.isfinite(values)):
+        raise BadRequest("sweep values must be finite")
     if np.any(values <= 0) and element != "inductance":
         raise BadRequest(
             f"sweep values for {element} must be positive"

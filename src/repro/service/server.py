@@ -51,6 +51,7 @@ from typing import Dict, Optional, Tuple
 from ..engine.compiled import compile_tree
 from ..errors import ReproError
 from ..runtime import ExecutionContext
+from ..sweep import compile_sweep, const, iter_sweep, scenario_space, values_axis
 from . import protocol
 from .coalesce import PointCoalescer
 
@@ -479,9 +480,36 @@ class AnalysisServer:
         total = int(request.values.size)
         loop = asyncio.get_running_loop()
 
+        # The swept element row as a masked expression: `values` land
+        # on the swept slot (x * 1 + 0 == x for finite x, enforced by
+        # parse_sweep) and the nominal vector everywhere else
+        # (x * 0 + base == base). The other two rows stay constant.
+        axis = values_axis("value", request.values)
+        hot = np.zeros(n)
+        hot[slot] = 1.0
+        base = {
+            "resistance": compiled.resistance,
+            "inductance": compiled.inductance,
+            "capacitance": compiled.capacitance,
+        }
+        masked = base[request.element].copy()
+        masked[slot] = 0.0
+        roots = {element: const(vector) for element, vector in base.items()}
+        roots[request.element] = axis.values * const(hot) + const(masked)
+        sweep = compile_sweep(scenario_space(axis), **roots)
+        iterator = iter_sweep(
+            sweep,
+            compiled,
+            chunk_size=request.chunk,
+            settle_band=request.settle_band,
+            metrics=request.metrics,
+            context=self._context,
+        )
+
         # Stream: headers first, then one NDJSON line per chunk. The
-        # full S x 3 x n block for a chunk is built lazily, so memory
-        # is bounded by the chunk size, not the sweep size.
+        # chunked lazy executor stages one chunk x 3 x n block at a
+        # time, so memory is bounded by the chunk size, not the sweep
+        # size, and the first line goes out after the first chunk.
         writer.write(_head(200, None, chunked=True, keep_alive=keep_alive))
         await writer.drain()
 
@@ -491,26 +519,15 @@ class AnalysisServer:
             writer.write(data + b"\r\n")
             await writer.drain()
 
-        element_row = {"resistance": 0, "inductance": 1, "capacitance": 2}[
-            request.element
-        ]
-        base = np.stack(
-            (compiled.resistance, compiled.inductance, compiled.capacitance)
-        )
         chunks = 0
-        for offset in range(0, total, request.chunk):
-            values = request.values[offset : offset + request.chunk]
-            rlc = np.broadcast_to(base, (values.size, 3, n)).copy()
-            rlc[:, element_row, slot] = values
-            batch = await loop.run_in_executor(
-                self._executor,
-                lambda rlc=rlc: self._context.batch(
-                    compiled,
-                    rlc,
-                    settle_band=request.settle_band,
-                    metrics=request.metrics,
-                ),
+        while True:
+            item = await loop.run_in_executor(
+                self._executor, lambda: next(iterator, None)
             )
+            if item is None:
+                break
+            offset, batch = item
+            values = request.values[offset : offset + batch.scenarios]
             line = {
                 "offset": offset,
                 "values": values.tolist(),

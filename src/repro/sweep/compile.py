@@ -1,0 +1,112 @@
+"""Compile a scenario-expression DAG into an ordered evaluation plan.
+
+Because expression nodes are hash-consed (see :mod:`.expr`), common
+subexpressions are already *shared objects*; compiling is a dependency
+walk that linearizes the DAG into one post-order schedule and counts
+how much sharing the walk found. The executor evaluates the schedule
+top to bottom with a per-node memo, so every shared subtree is
+computed once per chunk — classic CSE, obtained structurally instead
+of by pattern matching.
+
+Compilation also validates that every axis the expressions read is
+part of the declared scenario space, so a mismatch fails at compile
+time with a named axis instead of mid-sweep with a shape error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..errors import ConfigurationError
+from .expr import Expr, Operand, ScenarioSpace, as_expr
+
+__all__ = ["CompiledSweep", "compile_sweep"]
+
+
+@dataclass(frozen=True)
+class CompiledSweep:
+    """A scenario space plus its scheduled ``(R, L, C)`` expressions.
+
+    ``order`` is a post-order schedule of the unique DAG nodes (every
+    node after its dependencies). ``total_refs`` counts every edge
+    reference the walk saw; ``cse_hits`` counts how many of those hit
+    an already-scheduled node — the number of evaluations sharing
+    saves per chunk. ``cse=False`` keeps the schedule but makes the
+    executor re-evaluate shared subtrees at every reference (the
+    measurable baseline for the CSE benchmark).
+    """
+
+    space: ScenarioSpace
+    resistance: Expr
+    inductance: Expr
+    capacitance: Expr
+    order: Tuple[Expr, ...]
+    total_refs: int
+    cse_hits: int
+    cse: bool
+
+    @property
+    def roots(self) -> Tuple[Expr, Expr, Expr]:
+        return (self.resistance, self.inductance, self.capacitance)
+
+    @property
+    def unique_nodes(self) -> int:
+        return len(self.order)
+
+
+def compile_sweep(
+    space: ScenarioSpace,
+    *,
+    resistance: Operand,
+    inductance: Operand,
+    capacitance: Operand,
+    cse: bool = True,
+) -> CompiledSweep:
+    """Schedule the three element expressions over ``space``.
+
+    Scalars and arrays coerce to constants, so e.g. ``inductance=0.0``
+    declares an RC sweep directly. Raises
+    :class:`~repro.errors.ConfigurationError` when an expression reads
+    an axis that is not part of ``space``.
+    """
+    if not isinstance(space, ScenarioSpace):
+        raise ConfigurationError(
+            f"compile_sweep needs a ScenarioSpace, got {space!r}"
+        )
+    roots = (as_expr(resistance), as_expr(inductance), as_expr(capacitance))
+    order: List[Expr] = []
+    seen: Set[Expr] = set()
+    total_refs = 0
+    cse_hits = 0
+    stack = [(root, False) for root in reversed(roots)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        total_refs += 1
+        if node in seen:
+            cse_hits += 1
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        for dep in reversed(node.deps):
+            stack.append((dep, False))
+    for node in order:
+        axis = node.axis
+        if axis is not None and axis not in space.axes:
+            raise ConfigurationError(
+                f"expression reads axis {axis.name!r}, which is not part "
+                "of the scenario space"
+            )
+    return CompiledSweep(
+        space=space,
+        resistance=roots[0],
+        inductance=roots[1],
+        capacitance=roots[2],
+        order=tuple(order),
+        total_refs=total_refs,
+        cse_hits=cse_hits,
+        cse=bool(cse),
+    )

@@ -251,12 +251,13 @@ class TestSimulatorAgreement:
         sink = tree.leaves()[0]
         horizon = simulator.time_grid(points=2)[-1]
         assume(np.isfinite(horizon) and horizon > 0)
-        # Size the step to the fastest mode: ~60 points per ringing
+        # Size the step to the fastest mode: ~100 points per ringing
         # cycle keeps accumulated trapezoidal phase error negligible
-        # even for high-Q (low-zeta) examples.
+        # even for high-Q (low-zeta) examples (at 60/cycle the worst
+        # draws land right on the bound below).
         fastest = float(np.max(np.abs(simulator.poles())))
         cycles = horizon * fastest / (2 * math.pi)
-        points = int(min(max(4001, 60 * cycles), 120001))
+        points = int(min(max(4001, 100 * cycles), 200001))
         t = np.linspace(0.0, horizon, points)
         reference = simulator.step_response(sink, t)
         candidate = TrapezoidalSimulator(tree).run(StepSource(), sink, t)

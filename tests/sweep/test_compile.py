@@ -1,0 +1,112 @@
+"""The DAG compiler: CSE accounting and topological evaluation order."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import (
+    compile_sweep,
+    const,
+    exp,
+    linspace,
+    log,
+    scenario_space,
+)
+
+
+@pytest.fixture
+def axis():
+    return linspace("w", 0.5, 2.0, 16)
+
+
+class TestCompile:
+    def test_shared_subtree_counted_once(self, axis):
+        shared = exp(log(axis.values + 1.0) * 0.5)
+        sweep = compile_sweep(
+            scenario_space(axis),
+            resistance=shared * 2.0,
+            inductance=shared * 3.0,
+            capacitance=shared * 4.0,
+        )
+        # The shared chain appears once in the unique-node order but is
+        # referenced from all three roots.
+        assert sweep.cse_hits >= 2
+        assert sweep.total_refs > sweep.unique_nodes
+        assert shared in sweep.order
+
+    def test_order_is_topological(self, axis):
+        sweep = compile_sweep(
+            scenario_space(axis),
+            resistance=axis.values * 2.0 + 1.0,
+            inductance=const(0.0),
+            capacitance=axis.values * 2.0,
+        )
+        position = {node: i for i, node in enumerate(sweep.order)}
+        for node in sweep.order:
+            for dep in node.deps:
+                assert position[dep] < position[node]
+
+    def test_roots_cover_all_three_elements(self, axis):
+        r = axis.values + 1.0
+        sweep = compile_sweep(
+            scenario_space(axis),
+            resistance=r,
+            inductance=const(0.0),
+            capacitance=const(1e-12),
+        )
+        assert sweep.roots == (r, const(0.0), const(1e-12))
+
+    def test_cse_flag_preserved(self, axis):
+        space = scenario_space(axis)
+        kwargs = dict(
+            resistance=axis.values,
+            inductance=const(0.0),
+            capacitance=axis.values,
+        )
+        assert compile_sweep(space, **kwargs).cse
+        assert not compile_sweep(space, cse=False, **kwargs).cse
+
+    def test_foreign_axis_rejected(self, axis):
+        other = linspace("other", 1.0, 2.0, 16)
+        with pytest.raises(ConfigurationError):
+            compile_sweep(
+                scenario_space(axis),
+                resistance=other.values,
+                inductance=const(0.0),
+                capacitance=axis.values,
+            )
+
+    def test_scalar_roots_are_coerced(self, axis):
+        sweep = compile_sweep(
+            scenario_space(axis),
+            resistance=25.0,
+            inductance=0.0,
+            capacitance=axis.values * 1e-12,
+        )
+        assert sweep.roots[0] is const(25.0)
+
+    def test_space_type_checked(self, axis):
+        with pytest.raises(ConfigurationError):
+            compile_sweep(
+                axis,
+                resistance=axis.values,
+                inductance=const(0.0),
+                capacitance=axis.values,
+            )
+
+    def test_identical_description_compiles_identically(self, axis):
+        def build():
+            shared = exp(axis.values * 0.25)
+            return compile_sweep(
+                scenario_space(axis),
+                resistance=shared + 1.0,
+                inductance=const(0.0),
+                capacitance=shared * 1e-12,
+            )
+
+        first, second = build(), build()
+        assert first.order == second.order
+        assert first.cse_hits == second.cse_hits
+        assert np.array_equal(
+            [n._uid for n in first.order], [n._uid for n in second.order]
+        )

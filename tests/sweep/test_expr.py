@@ -1,0 +1,171 @@
+"""The expression layer: axes, hash-consing, and bitwise chunk grids.
+
+The whole lazy story rests on two invariants proved here: structurally
+identical expressions intern to the *same* node object (so the compiler
+can deduplicate by identity), and every axis materializes chunk slices
+bitwise-identical to the full eager grid (so chunking can never change
+a result).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import (
+    as_expr,
+    clip,
+    const,
+    cross,
+    exp,
+    linspace,
+    log,
+    log_sample,
+    lognormal_factors,
+    scenario_space,
+    sqrt,
+    values_axis,
+    zip_axes,
+)
+
+
+class TestInterning:
+    def test_same_axis_interns_to_same_object(self):
+        a = linspace("w", 0.5, 2.0, 64)
+        b = linspace("w", 0.5, 2.0, 64)
+        assert a is b
+
+    def test_different_points_is_a_different_axis(self):
+        assert linspace("w", 0.5, 2.0, 64) is not linspace("w", 0.5, 2.0, 65)
+
+    def test_structurally_equal_expressions_share_nodes(self):
+        axis = linspace("w", 0.5, 2.0, 8)
+        vec = np.arange(5.0)
+        left = axis.values * const(vec)
+        right = axis.values * const(vec)
+        assert left is right
+
+    def test_scalar_const_distinguishes_signed_zero(self):
+        assert const(0.0) is not const(-0.0)
+        assert const(1.0) is const(1.0)
+
+    def test_array_const_interns_by_content(self):
+        assert const(np.arange(4.0)) is const(np.arange(4.0))
+        assert const(np.arange(4.0)) is not const(np.arange(5.0))
+
+    def test_array_const_is_defensively_copied(self):
+        source = np.arange(4.0)
+        node = const(source)
+        source[0] = 99.0
+        assert const(np.arange(4.0)) is node
+
+    def test_operator_sugar_builds_shared_tree(self):
+        axis = linspace("w", 0.5, 2.0, 8)
+        tree = exp(log(axis.values + 1.0) * 0.5) - sqrt(axis.values)
+        again = exp(log(axis.values + 1.0) * 0.5) - sqrt(axis.values)
+        assert tree is again
+
+    def test_bare_axis_is_not_an_expression(self):
+        axis = linspace("w", 0.5, 2.0, 8)
+        with pytest.raises(ConfigurationError, match="values"):
+            as_expr(axis)
+
+
+class TestAxisGrids:
+    @pytest.mark.parametrize("points", [1, 2, 7, 101])
+    def test_linspace_chunks_match_numpy_bitwise(self, points):
+        axis = linspace("r", 10.0, 250.0, points)
+        full = np.linspace(10.0, 250.0, points)
+        for lo in range(points):
+            for hi in range(lo, points + 1):
+                chunk = axis.take(np.arange(lo, hi))
+                assert chunk.tobytes() == full[lo:hi].tobytes()
+
+    def test_log_sample_endpoints_exact(self):
+        axis = log_sample("c", 1e-15, 1e-9, 37)
+        grid = axis.take(np.arange(37))
+        assert grid[0] == 1e-15
+        assert grid[-1] == 1e-9
+        assert np.all(np.diff(np.log(grid)) > 0)
+
+    def test_log_sample_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            log_sample("c", 0.0, 1.0, 8)
+
+    def test_values_axis_round_trips(self):
+        data = np.array([3.0, 1.0, 4.0, 1.5])
+        axis = values_axis("v", data)
+        assert axis.take(np.arange(4)).tobytes() == data.tobytes()
+
+    def test_values_axis_rejects_non_vector(self):
+        with pytest.raises(ConfigurationError):
+            values_axis("v", np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            values_axis("v", np.array([]))
+
+
+class TestScenarioSpace:
+    def test_zip_requires_equal_sizes(self):
+        with pytest.raises(ConfigurationError):
+            zip_axes(linspace("a", 0, 1, 4), linspace("b", 0, 1, 5))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zip_axes(linspace("a", 0, 1, 4), values_axis("a", np.ones(4)))
+
+    def test_cross_size_is_product(self):
+        space = cross(linspace("a", 0, 1, 4), linspace("b", 0, 1, 5))
+        assert space.size == 20
+
+    def test_cross_indices_are_odometer_ordered(self):
+        a = linspace("a", 0.0, 3.0, 4)
+        b = linspace("b", 0.0, 4.0, 5)
+        space = cross(a, b)
+        idx_a = space.axis_indices(a, 0, 20)
+        idx_b = space.axis_indices(b, 0, 20)
+        assert idx_a.tolist() == [i // 5 for i in range(20)]
+        assert idx_b.tolist() == [i % 5 for i in range(20)]
+
+    def test_cross_forbids_sequential_axes(self):
+        mc = lognormal_factors(
+            "mc", sigmas=np.full(3, 0.1), sections=4, samples=8, seed=1
+        )
+        with pytest.raises(ConfigurationError):
+            cross(mc, linspace("w", 0.5, 2.0, 4))
+
+    def test_scenario_space_needs_axes(self):
+        with pytest.raises(ConfigurationError):
+            scenario_space()
+
+
+class TestFactorAxes:
+    def test_chunked_draws_prefix_the_full_stream(self):
+        axis = lognormal_factors(
+            "mc", sigmas=np.array([0.1, 0.05, 0.2]),
+            sections=6, samples=32, seed=9,
+        )
+        rng = axis.start_stream()
+        first = axis.draw(rng, 20)
+        rest = axis.draw(rng, 12)
+        eager = axis.draw(axis.start_stream(), 32)
+        chunked = np.concatenate([first, rest])
+        assert chunked.tobytes() == eager.tobytes()
+
+    def test_take_is_forbidden(self):
+        axis = lognormal_factors(
+            "mc", sigmas=np.full(3, 0.1), sections=4, samples=8, seed=1
+        )
+        with pytest.raises(ConfigurationError):
+            axis.take(np.arange(4))
+
+    def test_sigmas_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            lognormal_factors(
+                "mc", sigmas=np.ones(4), sections=4, samples=8, seed=1
+            )
+
+
+class TestClip:
+    def test_clip_interns_by_bounds(self):
+        axis = linspace("w", 0.0, 2.0, 8)
+        assert clip(axis.values, 0.25, 4.0) is clip(axis.values, 0.25, 4.0)
+        assert clip(axis.values, 0.25, 4.0) is not clip(axis.values, 0.5, 4.0)
